@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper and
+prints it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+entire evaluation section in one run.  Heavyweight builders are invoked
+through ``benchmark.pedantic`` with a single round; cheap ones use the
+default calibrated loop.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavyweight builder exactly once under the benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return runner

@@ -1,0 +1,57 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's published evaluation, but each ablation probes
+one of its structural decisions: carry recycling vs erasure in the
+adder, the 1:2 interleave policy, cache capacity, and the technology
+projection behind Table 1.
+"""
+
+from repro.analysis.sensitivity import (
+    adder_ablation,
+    cache_ablation,
+    policy_ablation,
+    technology_scaling,
+)
+from repro.core.cqla import CqlaDesign
+
+
+def test_adder_inplace_ablation(benchmark):
+    result = benchmark(adder_ablation, 128, 25)
+    # Erasing carries every addition costs ~2x; recycling is the
+    # steady-state choice for the modexp addition tree.
+    assert 1.5 < result.in_place_penalty < 3.0
+    print(f"\nin-place adder penalty at 128 bits / 25 blocks: "
+          f"{result.in_place_penalty:.2f}x")
+
+
+def test_policy_ablation(once):
+    points = once(policy_ablation, CqlaDesign("bacon_shor", 128, 25))
+    speeds = {(p.l1_additions, p.l2_additions): p.adder_speedup
+              for p in points}
+    # All-L2 is the floor; all-L1 the ceiling; 1:2 sits in between.
+    assert speeds[(0, 1)] < speeds[(1, 2)] < speeds[(1, 0)]
+    print("\nL1:L2 policy sweep (adder speedup):")
+    for (l1, l2), s in sorted(speeds.items()):
+        print(f"  {l1}:{l2} -> {s:.2f}x")
+
+
+def test_cache_ablation(once):
+    points = once(cache_ablation, "bacon_shor", 128)
+    hit = {p.cache_factor: p.hit_rate for p in points}
+    assert hit[3.0] >= hit[0.5]
+    print("\ncache capacity sweep (hit rate / L1 speedup):")
+    for p in points:
+        print(f"  {p.cache_factor:.1f}x PE -> {p.hit_rate:.1%} / "
+              f"{p.l1_speedup:.2f}x")
+
+
+def test_technology_scaling(benchmark):
+    points = benchmark(
+        technology_scaling, "steane", (0.1, 1.0, 10.0, 100.0, 1000.0)
+    )
+    levels = [p.level_for_shor_1024 for p in points]
+    assert levels == sorted(levels)  # worse components -> deeper recursion
+    print("\nfailure-rate scaling vs required recursion level:")
+    for p in points:
+        print(f"  x{p.failure_scale:<6g} p0={p.p0:.2e} -> level "
+              f"{p.level_for_shor_1024}")

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 2 (64-qubit adder parallelism)."""
+
+from repro.analysis.figures import fig2, fig2_text
+
+
+def test_fig2(benchmark):
+    data = benchmark(fig2, 64, 15)
+    # The paper's claim: 15 blocks match unlimited resources.
+    assert data["makespan_capped"] <= data["makespan_unlimited"] + 1
+    assert max(data["unlimited"]) == 64
+    print()
+    print(fig2_text(64, 15))

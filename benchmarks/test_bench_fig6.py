@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 6 (utilization and superblock bandwidth)."""
+
+from repro.analysis.figures import fig6a, fig6a_text, fig6b, fig6b_text
+
+
+def test_fig6a(once):
+    series = once(fig6a)
+    for n_bits, values in series.items():
+        # Monotone decreasing up to ceil-division ripple in the
+        # work-bound regime (where utilization saturates near 1).
+        assert all(b <= a + 0.01 for a, b in zip(values, values[1:])), (
+            f"utilization not monotone for {n_bits}-qubit adder"
+        )
+        assert values[-1] < values[0]
+    print()
+    print(fig6a_text())
+
+
+def test_fig6b(benchmark):
+    data = benchmark(fig6b)
+    assert data["crossover"] == 36  # the paper's crossover point
+    print()
+    print(fig6b_text())

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (cache hit rates).
+
+Times the cache simulator over the adder sizes with both fetch policies
+and the three cache capacities (1x, 1.5x, 2x the compute region).
+"""
+
+from repro.analysis.figures import fig7, fig7_text
+
+#: Sizes used for the timed benchmark run (the full figure includes
+#: 1024-bit; see fig7_text for the complete sweep).
+BENCH_SIZES = (64, 128, 256, 512)
+
+
+def test_fig7(once):
+    points = once(fig7, BENCH_SIZES)
+    assert len(points) == len(BENCH_SIZES) * 3 * 2
+    by_policy = {}
+    for p in points:
+        by_policy.setdefault(p.policy, []).append(p.hit_rate)
+    # The optimized fetch dominates in-order everywhere (paper: ~85%
+    # vs ~20%).
+    assert min(by_policy["optimized"]) > max(by_policy["in-order"])
+    print()
+    print(fig7_text(sizes=BENCH_SIZES))

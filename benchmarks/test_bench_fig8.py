@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 8 (computation vs communication)."""
+
+from repro.analysis.figures import fig8a, fig8a_text, fig8b, fig8b_text
+
+
+def test_fig8a(once):
+    series = once(fig8a)
+    # Modular exponentiation is computation dominated at every size.
+    for point in series:
+        assert point.communication_s < point.computation_s
+    # Totals rise steeply with input size (hundreds of hours at 1024).
+    assert series[-1].computation_hours > 100
+    print()
+    print(fig8a_text())
+
+
+def test_fig8b(benchmark):
+    series = benchmark(fig8b)
+    # QFT communication closely tracks computation (within ~2x).
+    for point in series:
+        assert 0.4 < point.ratio < 1.1
+    print()
+    print(fig8b_text())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (physical operation parameters)."""
+
+from repro.analysis.tables import table1, table1_text
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1)
+    assert len(rows) == 6
+    print()
+    print(table1_text())

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 2 (error-correction metric summary).
+
+Times the full pipeline: cycle-accurate level-1 EC schedules on the
+trap machine, recursive level-2 timing, tile-geometry areas and ion
+counts for both codes.
+"""
+
+from repro.analysis import paper_values
+from repro.analysis.tables import table2, table2_text
+from repro.ecc import schedule
+
+
+def _rebuild_table2():
+    # Clear the schedule caches so the benchmark times real work.
+    schedule.l1_syndrome_cycles.cache_clear()
+    return table2()
+
+
+def test_table2(once):
+    rows = _rebuild_table2()
+    rows = once(_rebuild_table2)
+    assert len(rows) == 4
+    for row in rows:
+        paper_ec = paper_values.EC_TIME_S[(row.code_key, row.level)]
+        assert abs(row.ec_time_s - paper_ec) / paper_ec < 0.15
+    print()
+    print(table2_text())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 3 (code-transfer latency matrix)."""
+
+from repro.analysis.tables import table3, table3_text
+
+
+def test_table3(benchmark):
+    matrix = benchmark(table3)
+    assert len(matrix) == 16
+    # Key hierarchy latencies: demoting to the cache costs more than
+    # promoting back (4 vs 2 EC periods of the slow encoding).
+    assert matrix[("7-L2", "7-L1")] > matrix[("7-L1", "7-L2")]
+    print()
+    print(table3_text())

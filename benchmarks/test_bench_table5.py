@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 5 (memory hierarchy results).
+
+Times the heaviest pipeline in the study: optimized-fetch cache
+simulation of the 256/512/1024-bit adders behind the code-transfer
+network at 5 and 10 parallel transfers, for both codes, composed with
+the 1:2 interleaving policy.
+"""
+
+from repro.analysis.tables import table5_text
+from repro.core.design_space import hierarchy_sweep
+
+
+def test_table5(once):
+    rows = once(hierarchy_sweep)
+    assert len(rows) == 12
+    by_key = {
+        (r.code_key, r.parallel_transfers, r.n_bits): r for r in rows
+    }
+    # Paper-shape assertions: more transfer ports -> larger L1 speedup;
+    # the headline ~8x adder speedup appears for Bacon-Shor at 10.
+    for code in ("steane", "bacon_shor"):
+        for n in (256, 512, 1024):
+            assert (
+                by_key[(code, 10, n)].l1_speedup
+                > by_key[(code, 5, n)].l1_speedup
+            )
+    assert max(
+        by_key[("bacon_shor", 10, n)].adder_speedup for n in (256, 512, 1024)
+    ) > 7.0
+    print()
+    print(table5_text())

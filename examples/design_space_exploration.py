@@ -1,0 +1,101 @@
+"""Explore the CQLA design space beyond the paper's published points.
+
+Sweeps compute-block counts for one problem size, showing the
+utilization/performance balance of Section 5.1; then runs the
+Section 7 extensions — mixed-granularity level scheduling and the
+laser-control budget — to see how much headroom the paper left.
+
+Run:  python examples/design_space_exploration.py [n_bits]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import memory_pressure, policy_ablation
+from repro.arch.regions import CqlaFloorplan
+from repro.circuits.modexp import modexp_logical_qubits
+from repro.core import CqlaDesign
+from repro.core.granularity import granularity_study
+from repro.physical.control import control_budget, control_reduction
+from repro.sim.scheduler import adder_balanced_utilization
+
+
+def sweep_blocks(n_bits: int) -> None:
+    rows = []
+    for side in range(2, 13):
+        k = side * side
+        design = CqlaDesign("bacon_shor", n_bits, k)
+        util = adder_balanced_utilization(n_bits, k)
+        rows.append([
+            k,
+            f"{util:.2f}",
+            f"{design.speedup():.2f}",
+            f"{design.area_reduction():.2f}",
+            f"{design.gain_product():.1f}",
+        ])
+    print(format_table(
+        ["blocks", "utilization", "speedup", "area x", "gain product"],
+        rows,
+        title=f"Block-count sweep, {n_bits}-bit modexp (Bacon-Shor)",
+    ))
+    print()
+
+
+def granularity(n_bits: int, k: int) -> None:
+    study = granularity_study(CqlaDesign("bacon_shor", n_bits, k))
+    rows = [
+        [f"{p.l1_fraction:.1f}", f"{p.adder_speedup:.2f}",
+         "yes" if p.safe else "no"]
+        for p in study.points
+    ]
+    print(format_table(
+        ["L1 op share", "adder speedup", "fidelity-safe"],
+        rows,
+        title="Mixed-granularity scheduling (Section 7 direction)",
+    ))
+    best = study.best_safe()
+    fixed = study.paper_policy_point()
+    print(f"paper 1:2 policy: {fixed.adder_speedup:.2f}x;"
+          f" best safe share {best.l1_fraction:.0%}: "
+          f"{best.adder_speedup:.2f}x")
+    print()
+
+
+def control(n_bits: int, k: int) -> None:
+    plan = CqlaFloorplan(
+        "bacon_shor",
+        memory_qubits=modexp_logical_qubits(n_bits),
+        l2_blocks=k,
+        l1_blocks=9,
+    )
+    budget = control_budget(plan)
+    print(f"Control budget ({n_bits}-bit, {k} blocks): "
+          f"{budget.laser_banks} laser banks, "
+          f"{budget.electrode_signals / 1e6:.0f}M electrode signals, "
+          f"{control_reduction(plan, n_bits):.1f}x fewer lasers than QLA")
+    print()
+
+
+def main() -> None:
+    n_bits = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    k = 49 if n_bits == 256 else None
+    sweep_blocks(n_bits)
+    if k is None:
+        from repro.core.design_space import performance_blocks
+
+        k = performance_blocks(n_bits)
+    granularity(n_bits, k)
+    control(n_bits, k)
+    rows = [
+        [p.n_bits, f"{p.memory_fraction:.0%}", f"{p.compute_fraction:.0%}"]
+        for p in memory_pressure("bacon_shor")
+    ]
+    print(format_table(
+        ["bits", "memory share", "compute share"],
+        rows,
+        title="Floorplan pressure: memory dominates as problems grow",
+    ))
+
+
+if __name__ == "__main__":
+    main()

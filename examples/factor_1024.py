@@ -1,0 +1,57 @@
+"""Provision a CQLA to factor a 1024-bit number (Shor's algorithm).
+
+The paper's motivating workload: walks the full design flow —
+reliability budget (Gottesman Equation 1), encoding-level selection,
+floorplan area, modular-exponentiation runtime, QFT communication — for
+both error-correcting codes, and prints the comparison.
+
+Run:  python examples/factor_1024.py
+"""
+
+from repro import CqlaDesign, FidelityBudget, MemoryHierarchy, QlaMachine
+from repro.ecc.concatenated import by_key
+from repro.sim.comm import modexp_breakdown, qft_breakdown
+
+N_BITS = 1024
+N_BLOCKS = 121
+
+
+def provision(code_key: str) -> None:
+    design = CqlaDesign(code_key, n_bits=N_BITS, n_blocks=N_BLOCKS)
+    code = by_key(code_key)
+    budget = FidelityBudget(code_key, N_BITS,
+                            adder_slots=design.adder_makespan_slots())
+    hierarchy = MemoryHierarchy(design, parallel_transfers=10)
+    modexp = modexp_breakdown(code_key, N_BITS, N_BLOCKS)
+    qft = qft_breakdown(code_key, N_BITS)
+
+    print(f"=== {code.spec.display_name} ===")
+    print(f"application K*Q:        {budget.kq:.2e}"
+          f"  (error budget {budget.budget_per_op:.2e}/op)")
+    print(f"required recursion:     level {budget.required_level()}"
+          f"  (L2 failure rate {budget.failure_rate(2):.2e})")
+    print(f"max L1 op fraction:     {budget.max_l1_op_fraction():.0%}"
+          f"  -> 1:2 interleave safe: {budget.policy_is_safe(1 / 3)}")
+    print(f"CQLA area:              {design.area_mm2() / 1e6:.3f} m^2"
+          f"  ({design.area_reduction():.1f}x smaller than QLA)")
+    print(f"modexp computation:     {modexp.computation_hours:.0f} h"
+          f"  (+{modexp.communication_hours:.0f} h communication)")
+    print(f"QFT total:              {qft.computation_s / 3600:.1f} h compute,"
+          f" {qft.communication_s / 3600:.1f} h communication")
+    print(f"hierarchy adder speedup: {hierarchy.adder_speedup():.2f}x"
+          f"  -> gain product {hierarchy.gain_product():.0f}")
+    print()
+
+
+def main() -> None:
+    qla = QlaMachine(N_BITS)
+    print(f"Factoring a {N_BITS}-bit number")
+    print(f"QLA baseline: {qla.area_m2():.2f} m^2, "
+          f"modexp in {qla.modexp_time_s() / 3600:.0f} h")
+    print()
+    for code_key in ("steane", "bacon_shor"):
+        provision(code_key)
+
+
+if __name__ == "__main__":
+    main()

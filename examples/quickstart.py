@@ -1,0 +1,42 @@
+"""Quickstart: evaluate one CQLA design point against the QLA baseline.
+
+Builds a Bacon-Shor CQLA for a 256-bit modular exponentiation, prints
+its floorplan, compares area and time against the homogeneous QLA, and
+then adds the quantum memory hierarchy (level-1 cache + compute) to get
+the full Table 5-style metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CqlaDesign, MemoryHierarchy, QlaMachine
+
+
+def main() -> None:
+    n_bits = 256
+    design = CqlaDesign("bacon_shor", n_bits=n_bits, n_blocks=49)
+    baseline = QlaMachine(n_bits)
+
+    print(f"Workload: {n_bits}-bit modular exponentiation")
+    print(f"Memory data qubits: {design.floorplan.memory.data_qubits}")
+    print(f"Compute blocks:     {design.n_blocks} "
+          f"({design.floorplan.l2_compute.logical_qubits} logical qubits)")
+    print()
+    print(f"QLA baseline area:  {baseline.area_m2():.3f} m^2")
+    print(f"CQLA area:          {design.area_mm2() / 1e6:.3f} m^2")
+    print(f"Area reduction:     {design.area_reduction():.2f}x")
+    print(f"Adder speedup:      {design.speedup():.2f}x")
+    print(f"Gain product:       {design.gain_product():.1f} (QLA = 1.0)")
+    print()
+
+    hierarchy = MemoryHierarchy(design, parallel_transfers=10)
+    print("With the quantum memory hierarchy (L1 cache + compute):")
+    print(f"  L1 speedup:       {hierarchy.l1_speedup():.2f}x")
+    print(f"  adder speedup:    {hierarchy.adder_speedup():.2f}x")
+    print(f"  cache hit rate:   {hierarchy.l1_run.hit_rate:.0%}")
+    print(f"  policy safe:      {hierarchy.policy_is_safe()}"
+          f"  (L1 time share {hierarchy.l1_time_fraction():.2%})")
+    print(f"  gain product:     {hierarchy.gain_product():.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Sensitivity and ablation analyses around the CQLA design point.
+
+The paper's conclusions rest on projected technology parameters and a
+handful of structural choices.  This module quantifies how the headline
+metrics move when those inputs move:
+
+* **technology scaling** — failure-rate multipliers around the future
+  parameter point, and the recursion level each demands;
+* **policy ablation** — L1:L2 interleave ratios versus the paper's 1:2;
+* **adder ablation** — in-place (carry-erased) versus out-of-place
+  steady-state adders;
+* **cache ablation** — hit rate and L1 time across cache capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..circuits.modexp import modexp_logical_qubits
+from ..core.cqla import CqlaDesign
+from ..core.hierarchy import HierarchyPolicy, MemoryHierarchy
+from ..ecc.concatenated import ConcatenatedCode, spec_by_key
+from ..physical.params import future_params
+from ..sim.hierarchy_sim import simulate_l1_run
+from ..sim.scheduler import adder_schedule
+
+
+@dataclass(frozen=True)
+class TechnologyPoint:
+    """Reliability of one failure-rate scaling of the future params."""
+
+    failure_scale: float
+    p0: float
+    level1_failure: float
+    level2_failure: float
+    level_for_shor_1024: int
+
+
+def technology_scaling(
+    code_key: str,
+    scales: Sequence[float] = (0.1, 1.0, 10.0, 100.0, 1000.0),
+    shor_budget_per_op: float = 1.0e-11,
+) -> List[TechnologyPoint]:
+    """Sweep failure-rate multipliers; report per-level reliability."""
+    points = []
+    spec = spec_by_key(code_key)
+    for scale in scales:
+        params = future_params().scaled(f"x{scale:g}", scale)
+        code = ConcatenatedCode(spec, params)
+        try:
+            level = code.min_level_for(shor_budget_per_op)
+        except ValueError:
+            level = -1  # below threshold: no level suffices
+        points.append(TechnologyPoint(
+            failure_scale=scale,
+            p0=params.average_failure_rate(),
+            level1_failure=code.failure_rate(1),
+            level2_failure=code.failure_rate(2),
+            level_for_shor_1024=level,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class PolicyPoint:
+    """One interleave ratio and its composite speedup."""
+
+    l1_additions: int
+    l2_additions: int
+    adder_speedup: float
+    l1_op_fraction: float
+
+
+def policy_ablation(
+    design: CqlaDesign,
+    parallel_transfers: int = 10,
+    ratios: Sequence[tuple] = ((0, 1), (1, 4), (1, 2), (1, 1), (2, 1), (1, 0)),
+) -> List[PolicyPoint]:
+    """Sweep L1:L2 interleave ratios around the paper's 1:2."""
+    hierarchy = MemoryHierarchy(design, parallel_transfers=parallel_transfers)
+    s1, s2 = hierarchy.l1_speedup(), hierarchy.l2_speedup()
+    points = []
+    for l1, l2 in ratios:
+        policy = HierarchyPolicy(l1_additions=l1, l2_additions=l2)
+        points.append(PolicyPoint(
+            l1_additions=l1,
+            l2_additions=l2,
+            adder_speedup=policy.adder_speedup(s1, s2),
+            l1_op_fraction=policy.l1_fraction,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class AdderAblation:
+    """Out-of-place vs in-place adder scheduling comparison."""
+
+    n_bits: int
+    n_blocks: int
+    out_of_place_slots: int
+    in_place_slots: int
+
+    @property
+    def in_place_penalty(self) -> float:
+        return self.in_place_slots / self.out_of_place_slots
+
+
+def adder_ablation(n_bits: int, n_blocks: int) -> AdderAblation:
+    """Cost of erasing carries every addition instead of recycling."""
+    return AdderAblation(
+        n_bits=n_bits,
+        n_blocks=n_blocks,
+        out_of_place_slots=adder_schedule(n_bits, n_blocks, False).makespan,
+        in_place_slots=adder_schedule(n_bits, n_blocks, True).makespan,
+    )
+
+
+@dataclass(frozen=True)
+class CachePoint:
+    """Hierarchy behavior at one cache capacity factor."""
+
+    cache_factor: float
+    hit_rate: float
+    l1_speedup: float
+
+
+def cache_ablation(
+    code_key: str,
+    n_bits: int,
+    factors: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 3.0),
+    parallel_transfers: int = 10,
+) -> List[CachePoint]:
+    """Sweep the cache capacity factor of the hierarchy simulator."""
+    points = []
+    for factor in factors:
+        run = simulate_l1_run(
+            code_key, n_bits,
+            parallel_transfers=parallel_transfers,
+            cache_factor=factor,
+        )
+        points.append(CachePoint(
+            cache_factor=factor,
+            hit_rate=run.hit_rate,
+            l1_speedup=run.l1_speedup,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class MemoryPressurePoint:
+    """Area split between regions at one problem size."""
+
+    n_bits: int
+    memory_fraction: float
+    compute_fraction: float
+
+
+def memory_pressure(
+    code_key: str,
+    sizes: Sequence[int] = (32, 128, 512, 1024),
+) -> List[MemoryPressurePoint]:
+    """How the floorplan shifts toward memory as problems grow."""
+    from ..core.design_space import performance_blocks
+
+    points = []
+    for n_bits in sizes:
+        design = CqlaDesign(code_key, n_bits, performance_blocks(n_bits))
+        plan = design.floorplan
+        total = plan.area_mm2()
+        points.append(MemoryPressurePoint(
+            n_bits=n_bits,
+            memory_fraction=plan.memory.area_mm2() / total,
+            compute_fraction=plan.l2_compute.area_mm2() / total,
+        ))
+    return points

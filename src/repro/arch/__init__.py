@@ -1,0 +1,61 @@
+"""Architecture layer: tiles, regions, QLA baseline, interconnect."""
+
+from .bandwidth import (
+    BandwidthPoint,
+    bandwidth_available,
+    bandwidth_required,
+    draper_demand_per_block,
+    optimal_superblock_size,
+    sweep,
+    worst_case_demand_per_block,
+)
+from .interconnect import (
+    MeshAllToAll,
+    TeleportChannel,
+    logical_teleport_time_s,
+    teleport_time_by_key,
+)
+from .qla import QlaMachine
+from .regions import (
+    CACHE_CAPACITY_FACTOR,
+    CacheRegion,
+    ComputeRegion,
+    CqlaFloorplan,
+    MemoryRegion,
+)
+from .tile import (
+    SiteAreas,
+    cache_site_mm2,
+    compute_block_mm2,
+    memory_site_mm2,
+    qla_site_mm2,
+    qubit_tile_mm2,
+    site_areas,
+)
+
+__all__ = [
+    "BandwidthPoint",
+    "CACHE_CAPACITY_FACTOR",
+    "CacheRegion",
+    "ComputeRegion",
+    "CqlaFloorplan",
+    "MemoryRegion",
+    "MeshAllToAll",
+    "QlaMachine",
+    "SiteAreas",
+    "TeleportChannel",
+    "bandwidth_available",
+    "bandwidth_required",
+    "cache_site_mm2",
+    "compute_block_mm2",
+    "draper_demand_per_block",
+    "logical_teleport_time_s",
+    "memory_site_mm2",
+    "optimal_superblock_size",
+    "qla_site_mm2",
+    "qubit_tile_mm2",
+    "site_areas",
+    "sweep",
+    "teleport_time_by_key",
+    "worst_case_demand_per_block",
+]

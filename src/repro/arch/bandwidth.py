@@ -1,0 +1,108 @@
+"""Superblock perimeter-bandwidth analysis (Figure 6b, Section 5.1).
+
+Compute blocks gang into *superblocks* to exploit locality.  A square
+superblock of ``s`` blocks exposes ``4 * sqrt(s)`` block edges of
+perimeter, each carrying a fixed number of teleportation channels; its
+demand grows linearly with ``s``.  The paper finds the curves cross at
+36 blocks per superblock, independent of the error-correcting code —
+which holds automatically when both sides are expressed in transfers per
+EC period, the natural clock of the machine.
+
+Demand constants derive from the Toffoli traffic analysis of Section 6:
+nine logical qubits flow per fault-tolerant Toffoli (operands, ancilla
+and cat-state qubits), each in and out of the superblock, plus roughly
+one interleaved CNOT's operand pair, spread over the fifteen gate-EC
+periods a Toffoli occupies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..circuits.gates import TOFFOLI_TRAFFIC_QUBITS
+
+#: Teleportation channels per compute-block edge on the superblock
+#: perimeter (Section 6.1 sizes two channels as adequate).
+EDGE_CHANNELS = 2
+
+#: Transfers one channel completes per EC period (a communication step
+#: costs about one gate period, Section 6).
+TRANSFERS_PER_CHANNEL_PER_PERIOD = 1.0
+
+#: Gate-EC periods per fault-tolerant Toffoli.
+TOFFOLI_PERIODS = 15
+
+
+def draper_demand_per_block() -> float:
+    """Transfers per block per EC period for the Draper adder.
+
+    Nine Toffoli qubits round-trip (in and out) plus one CNOT operand
+    pair per Toffoli interval, amortized over the fifteen periods.
+    """
+    per_toffoli = 2 * TOFFOLI_TRAFFIC_QUBITS + 2
+    return per_toffoli / TOFFOLI_PERIODS
+
+
+def worst_case_demand_per_block() -> float:
+    """Transfers per block per period with no locality at all.
+
+    Every one of the nine data qubits of the block is replaced (in and
+    out) every shortest-gate interval of five periods — the pattern of
+    back-to-back uncorrelated two-qubit gates.
+    """
+    return 2 * TOFFOLI_TRAFFIC_QUBITS / 5.0
+
+
+def bandwidth_available(n_blocks: int) -> float:
+    """Perimeter transfer capacity of an ``n_blocks`` superblock."""
+    if n_blocks < 1:
+        raise ValueError("superblock needs at least one block")
+    edges = 4.0 * math.sqrt(n_blocks)
+    return edges * EDGE_CHANNELS * TRANSFERS_PER_CHANNEL_PER_PERIOD
+
+
+def bandwidth_required(n_blocks: int, per_block_demand: float = None) -> float:
+    """Aggregate demand of ``n_blocks`` busy compute blocks."""
+    if n_blocks < 1:
+        raise ValueError("superblock needs at least one block")
+    if per_block_demand is None:
+        per_block_demand = draper_demand_per_block()
+    return n_blocks * per_block_demand
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One x-axis sample of the Figure 6b study."""
+
+    n_blocks: int
+    available: float
+    required_draper: float
+    required_worst_case: float
+
+
+def sweep(block_counts: Sequence[int]) -> List[BandwidthPoint]:
+    """Evaluate all three Figure 6b curves over block counts."""
+    return [
+        BandwidthPoint(
+            n_blocks=s,
+            available=bandwidth_available(s),
+            required_draper=bandwidth_required(s),
+            required_worst_case=bandwidth_required(
+                s, worst_case_demand_per_block()
+            ),
+        )
+        for s in block_counts
+    ]
+
+
+def optimal_superblock_size() -> int:
+    """Largest superblock whose perimeter still feeds its blocks.
+
+    Solves ``available(s) >= required(s)``: with demand ``r`` per block
+    and ``E`` channels per edge the crossover is ``(4E/r)**2``.
+    """
+    r = draper_demand_per_block()
+    crossover = (4.0 * EDGE_CHANNELS * TRANSFERS_PER_CHANNEL_PER_PERIOD / r) ** 2
+    return int(math.floor(crossover + 1e-9))

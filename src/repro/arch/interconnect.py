@@ -1,0 +1,117 @@
+"""Teleportation interconnect and mesh communication (Sections 2, 6).
+
+All quantum data must physically move (no-cloning), so the QLA/CQLA
+interconnect teleports logical qubits between regions over pre-purified
+EPR channels.  The paper's key observation (Section 6) is that a single
+communication step "does not take longer than the computation of a
+single gate", because every logical gate is followed by an error
+correction: the teleportation's Bell measurement and Pauli-frame fix are
+cheap, and the receiving side's EC dominates — so a logical hop costs
+roughly one EC period plus a transversal measurement sweep.
+
+For the QFT's all-to-all personalized traffic we model the CQLA mesh
+with the near-optimal pipelined all-port schedule of Yang & Wang [37]:
+an all-to-all personalized exchange on a ``k x k`` mesh of superblocks
+completes in about ``p*k/4 + o(pk)`` phases for ``p`` resident qubits
+per node, which we expose alongside the serial message total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ecc.concatenated import ConcatenatedCode, by_key
+from ..physical.params import CYCLE_TIME_US
+
+#: Ion-qubits that can cross a channel junction concurrently (the
+#: two-ion trapping regions of Figure 1 give a two-wide lane).
+CHANNEL_WIDTH_IONS = 2
+
+#: Fundamental cycles per physical teleportation: the Bell measurement
+#: (one two-qubit gate + measurement) and the classically conditioned
+#: Pauli fix.
+PHYSICAL_TELEPORT_CYCLES = 4
+
+
+def logical_teleport_time_s(code: ConcatenatedCode, level: int) -> float:
+    """Latency of teleporting one logical qubit between regions.
+
+    EPR distribution and purification are pipelined ahead of demand and
+    hidden; the exposed cost is the transversal Bell measurement on the
+    ``n**level`` data ions (two at a time per channel) plus the error
+    correction that re-establishes the code at the destination.
+    """
+    sweeps = math.ceil(code.data_ions(level) / CHANNEL_WIDTH_IONS)
+    bsm_s = sweeps * PHYSICAL_TELEPORT_CYCLES * CYCLE_TIME_US / 1.0e6
+    return code.ec_time_s(level) + bsm_s
+
+
+def teleport_time_by_key(code_key: str, level: int) -> float:
+    return logical_teleport_time_s(by_key(code_key), level)
+
+
+@dataclass(frozen=True)
+class MeshAllToAll:
+    """All-to-all personalized exchange on a mesh of superblocks.
+
+    ``nodes`` superblocks arranged as a near-square mesh, each holding
+    ``qubits_per_node`` logical qubits; every ordered node pair exchanges
+    personalized qubit traffic (the QFT pattern).
+    """
+
+    nodes: int
+    qubits_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.qubits_per_node < 1:
+            raise ValueError("mesh needs positive nodes and payload")
+
+    @property
+    def side(self) -> int:
+        return max(1, math.isqrt(self.nodes - 1) + 1)
+
+    @property
+    def total_messages(self) -> int:
+        """Ordered-pair personalized messages (one qubit each)."""
+        return self.nodes * (self.nodes - 1) * self.qubits_per_node
+
+    def schedule_phases(self) -> int:
+        """Pipelined all-port schedule length in hop phases.
+
+        Yang & Wang's pipelined all-to-all on a ``k x k`` all-port mesh
+        needs about ``p * k / 4`` phases plus lower-order terms; we take
+        the ceiling and add the mesh diameter as pipeline fill.
+        """
+        k = self.side
+        fill = 2 * (k - 1)
+        return math.ceil(self.qubits_per_node * self.nodes * k / 4) + fill
+
+    def exchange_time_s(self, hop_time_s: float) -> float:
+        """Wall-clock of the pipelined exchange given per-hop latency."""
+        if hop_time_s <= 0:
+            raise ValueError("hop time must be positive")
+        return self.schedule_phases() * hop_time_s
+
+
+@dataclass(frozen=True)
+class TeleportChannel:
+    """A point-to-point logical channel between two regions."""
+
+    code_key: str
+    level: int
+
+    @property
+    def hop_time_s(self) -> float:
+        return teleport_time_by_key(self.code_key, self.level)
+
+    def batch_time_s(self, n_qubits: int, lanes: int = 1) -> float:
+        """Move ``n_qubits`` over ``lanes`` parallel channel lanes."""
+        if n_qubits < 0:
+            raise ValueError("qubit count cannot be negative")
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        if n_qubits == 0:
+            return 0.0
+        waves = math.ceil(n_qubits / lanes)
+        return waves * self.hop_time_s

@@ -1,0 +1,64 @@
+"""The homogeneous QLA baseline (Section 2, prior work [1]).
+
+The Quantum Logic Array is the sea-of-qubits design the CQLA is measured
+against: every logical data qubit carries its own pair of logical
+ancilla qubits (1:2), sits in a tiled array with teleportation islands,
+and may compute at full EC speed anywhere — maximal parallelism at
+maximal area.  It uses the Steane code at level 2 throughout.
+
+The QLA's gain product is the unit against which Tables 4 and 5 report:
+``GP = (Area_QLA * AdderTime_QLA) / (Area_CQLA * AdderTime_CQLA)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..circuits.modexp import modexp_logical_qubits, serial_adder_depth
+from ..ecc.concatenated import steane_concatenated
+from . import tile
+
+
+@dataclass(frozen=True)
+class QlaMachine:
+    """A QLA instance sized for an ``n_bits`` modular exponentiation."""
+
+    n_bits: int
+    level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 2:
+            raise ValueError("QLA instance needs at least 2 bits")
+
+    @property
+    def logical_qubits(self) -> int:
+        return modexp_logical_qubits(self.n_bits)
+
+    def area_mm2(self) -> float:
+        return self.logical_qubits * tile.qla_site_mm2(self.level)
+
+    def area_m2(self) -> float:
+        return self.area_mm2() / 1.0e6
+
+    def logical_op_time_s(self) -> float:
+        return steane_concatenated().logical_op_time_s(self.level)
+
+    def adder_time_s(self) -> float:
+        """Adder latency at maximal parallelism: the critical path."""
+        return self._adder_critical_slots(self.n_bits) * self.logical_op_time_s()
+
+    def modexp_time_s(self) -> float:
+        """Serial adder depth times the adder latency."""
+        return serial_adder_depth(self.n_bits) * self.adder_time_s()
+
+    @staticmethod
+    @lru_cache(maxsize=None)
+    def _adder_critical_slots(n_bits: int) -> int:
+        from ..sim.scheduler import adder_critical_slots
+
+        return adder_critical_slots(n_bits)
+
+    def gain_product(self) -> float:
+        """The QLA's gain product against itself — identically 1."""
+        return 1.0

@@ -1,0 +1,199 @@
+"""CQLA regions and floorplan (Section 3, Figure 3).
+
+The CQLA specializes the homogeneous QLA into a dense **memory** region,
+a set of **compute blocks** (optionally grouped into superblocks), and —
+in the full hierarchy — a level-1 **cache** plus level-1 compute region
+connected through the code-transfer network.  This module provides the
+region dataclasses and the floorplan that sums their areas; timing lives
+in the simulators and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ecc.concatenated import ConcatenatedCode, by_key
+from ..ecc.transfer import TransferNetwork
+from . import tile
+from .bandwidth import optimal_superblock_size
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """Dense storage: 8 data qubits per logical ancilla, level 2."""
+
+    code_key: str
+    data_qubits: int
+    level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.data_qubits < 1:
+            raise ValueError("memory must store at least one qubit")
+
+    @property
+    def ancilla_qubits(self) -> int:
+        return math.ceil(self.data_qubits / tile.MEMORY_DATA_PER_ANCILLA)
+
+    @property
+    def logical_qubits(self) -> int:
+        return self.data_qubits + self.ancilla_qubits
+
+    def area_mm2(self) -> float:
+        code = by_key(self.code_key)
+        return self.data_qubits * tile.memory_site_mm2(code, self.level)
+
+    def ec_wait_budget_s(self) -> float:
+        """How long a memory qubit may idle between error corrections.
+
+        Idle qubits only decohere against the trap memory time; a safe
+        EC interval is a small fraction of it (we use 1%), which is still
+        orders of magnitude longer than the EC procedure itself — the
+        slack that permits the 8:1 ancilla sharing.
+        """
+        code = by_key(self.code_key)
+        return 0.01 * code.params.memory_time_s
+
+
+@dataclass(frozen=True)
+class ComputeRegion:
+    """A bank of compute blocks at one encoding level."""
+
+    code_key: str
+    n_blocks: int
+    level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError("need at least one compute block")
+
+    @property
+    def data_qubits(self) -> int:
+        return self.n_blocks * tile.COMPUTE_DATA_QUBITS
+
+    @property
+    def ancilla_qubits(self) -> int:
+        return self.n_blocks * tile.COMPUTE_ANCILLA_QUBITS
+
+    @property
+    def logical_qubits(self) -> int:
+        return self.data_qubits + self.ancilla_qubits
+
+    def area_mm2(self) -> float:
+        code = by_key(self.code_key)
+        return self.n_blocks * tile.compute_block_mm2(code, self.level)
+
+    def superblocks(self) -> int:
+        """Number of superblocks when grouped at the optimal size."""
+        return max(1, math.ceil(self.n_blocks / optimal_superblock_size()))
+
+    def logical_op_time_s(self) -> float:
+        code = by_key(self.code_key)
+        return code.logical_op_time_s(self.level)
+
+
+@dataclass(frozen=True)
+class CacheRegion:
+    """Level-1 cache: compute-style sites at the fast encoding level.
+
+    ``capacity`` counts logical data qubits; the paper studies capacities
+    of 1x, 1.5x and 2x the level-1 compute region and settles on 2x.
+    """
+
+    code_key: str
+    capacity: int
+    level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache needs capacity for at least one qubit")
+
+    def area_mm2(self) -> float:
+        code = by_key(self.code_key)
+        return self.capacity * tile.cache_site_mm2(code, self.level)
+
+
+#: Paper-standard cache capacity: twice the compute-region qubit count.
+CACHE_CAPACITY_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class CqlaFloorplan:
+    """A complete CQLA instance.
+
+    ``l1_blocks=0`` gives the Table 4 configuration (specialization
+    only); a positive value adds the level-1 compute region, cache and
+    transfer network of Table 5.
+    """
+
+    code_key: str
+    memory_qubits: int
+    l2_blocks: int
+    l1_blocks: int = 0
+    cache_factor: float = CACHE_CAPACITY_FACTOR
+    parallel_transfers: int = 10
+
+    def __post_init__(self) -> None:
+        if self.memory_qubits < 1:
+            raise ValueError("floorplan needs memory")
+        if self.l2_blocks < 1:
+            raise ValueError("floorplan needs level-2 compute blocks")
+        if self.l1_blocks < 0:
+            raise ValueError("level-1 block count cannot be negative")
+        if self.cache_factor <= 0:
+            raise ValueError("cache factor must be positive")
+
+    # -- regions --------------------------------------------------------
+    @property
+    def memory(self) -> MemoryRegion:
+        return MemoryRegion(self.code_key, self.memory_qubits)
+
+    @property
+    def l2_compute(self) -> ComputeRegion:
+        return ComputeRegion(self.code_key, self.l2_blocks, level=2)
+
+    @property
+    def l1_compute(self) -> Optional[ComputeRegion]:
+        if self.l1_blocks == 0:
+            return None
+        return ComputeRegion(self.code_key, self.l1_blocks, level=1)
+
+    @property
+    def cache(self) -> Optional[CacheRegion]:
+        l1 = self.l1_compute
+        if l1 is None:
+            return None
+        capacity = math.ceil(self.cache_factor * l1.data_qubits)
+        return CacheRegion(self.code_key, capacity)
+
+    @property
+    def transfer_network(self) -> Optional[TransferNetwork]:
+        if self.l1_blocks == 0:
+            return None
+        return TransferNetwork(
+            code_key=self.code_key,
+            parallel_transfers=self.parallel_transfers,
+        )
+
+    # -- area -----------------------------------------------------------
+    def transfer_area_mm2(self) -> float:
+        """Footprint of the code-transfer ports: each concurrent transfer
+        parks one level-2 and one level-1 qubit."""
+        if self.l1_blocks == 0:
+            return 0.0
+        code = by_key(self.code_key)
+        per_port = code.qubit_area_mm2(2) + code.qubit_area_mm2(1)
+        return self.parallel_transfers * per_port
+
+    def area_mm2(self) -> float:
+        total = self.memory.area_mm2() + self.l2_compute.area_mm2()
+        l1 = self.l1_compute
+        if l1 is not None:
+            total += l1.area_mm2()
+            total += self.cache.area_mm2()
+            total += self.transfer_area_mm2()
+        return total
+
+    def area_m2(self) -> float:
+        return self.area_mm2() / 1.0e6

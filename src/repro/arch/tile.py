@@ -1,0 +1,120 @@
+"""Site-level area models for QLA and CQLA regions (Sections 2, 3, 5.1).
+
+A *site* is the floorplan footprint of one logical data qubit including
+its share of ancilla qubits, interconnect channels and teleportation
+support.  The regions differ exactly as the paper describes:
+
+* **QLA site** (the baseline, Section 2): one data qubit accompanied by
+  two logical ancilla qubits (the 1:2 ratio that maximizes EC speed),
+  a teleportation island, and wide repeater channels on all sides.
+* **CQLA memory site** (Section 3.2): eight data qubits share one
+  logical ancilla (8:1), with narrow channels — idle qubits tolerate
+  longer EC intervals, so memory is optimized for density.
+* **CQLA compute block** (Section 3.2): nine data + eighteen ancilla
+  logical qubits (1:2 again) with a fast interconnect whose channel area
+  roughly doubles the block footprint.
+* **Cache site** (Section 3.3): identical ratios to compute, but at the
+  lower encoding level.
+
+The channel-overhead constants below are the calibration points
+documented in DESIGN.md: they are fixed once against the published QLA
+compression numbers and never tuned per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ecc.concatenated import ConcatenatedCode, by_key, steane_concatenated
+
+#: Logical ancilla qubits per data qubit in QLA and in CQLA compute.
+QLA_ANCILLA_PER_DATA = 2
+
+#: Teleportation-island footprint per QLA site, in logical-tile units
+#: (EPR generation, purification and routing ancilla).
+QLA_ISLAND_TILES = 2.0
+
+#: Fractional channel overhead of a QLA site: the repeater-based
+#: interconnect wraps every tile in multi-qubit-wide lanes.  Calibrated
+#: so a Steane QLA site is ~59 mm^2, putting the 1024-bit QLA machine at
+#: ~0.3 m^2, the scale the paper calls "approximately 1 m^2".
+QLA_CHANNEL_OVERHEAD = 2.44
+
+#: CQLA memory: data qubits per shared logical ancilla (the 8:1 ratio).
+MEMORY_DATA_PER_ANCILLA = 8
+
+#: Fractional channel overhead inside the memory region (narrow
+#: teleport lanes between dense tile rows).
+MEMORY_CHANNEL_OVERHEAD = 0.25
+
+#: Logical data qubits per CQLA compute block (Figure 3a).
+COMPUTE_DATA_QUBITS = 9
+
+#: Logical ancilla qubits per CQLA compute block (1:2 ratio).
+COMPUTE_ANCILLA_QUBITS = 18
+
+#: Fractional channel overhead of a compute block: the fast interconnect
+#: and EPR supply roughly double the block footprint.
+COMPUTE_CHANNEL_OVERHEAD = 1.0
+
+
+@dataclass(frozen=True)
+class SiteAreas:
+    """Resolved per-site areas (mm^2) for one code at one level."""
+
+    code_key: str
+    level: int
+    qubit_tile_mm2: float
+    qla_site_mm2: float
+    memory_site_mm2: float
+    compute_block_mm2: float
+
+
+def qubit_tile_mm2(code: ConcatenatedCode, level: int) -> float:
+    """Area of one logical qubit tile."""
+    return code.qubit_area_mm2(level)
+
+
+def qla_site_mm2(level: int = 2) -> float:
+    """Area of one QLA logical-qubit site (always the Steane baseline).
+
+    The paper compares all results against its prior QLA design, which
+    used only the Steane code.
+    """
+    tile = steane_concatenated().qubit_area_mm2(level)
+    tiles = 1 + QLA_ANCILLA_PER_DATA + QLA_ISLAND_TILES
+    return tiles * tile * (1.0 + QLA_CHANNEL_OVERHEAD)
+
+
+def memory_site_mm2(code: ConcatenatedCode, level: int = 2) -> float:
+    """Memory-region area per stored logical data qubit."""
+    tile = code.qubit_area_mm2(level)
+    tiles = 1.0 + 1.0 / MEMORY_DATA_PER_ANCILLA
+    return tiles * tile * (1.0 + MEMORY_CHANNEL_OVERHEAD)
+
+
+def compute_block_mm2(code: ConcatenatedCode, level: int = 2) -> float:
+    """Area of one compute block (9 data + 18 ancilla qubits)."""
+    tile = code.qubit_area_mm2(level)
+    tiles = COMPUTE_DATA_QUBITS + COMPUTE_ANCILLA_QUBITS
+    return tiles * tile * (1.0 + COMPUTE_CHANNEL_OVERHEAD)
+
+
+def cache_site_mm2(code: ConcatenatedCode, level: int = 1) -> float:
+    """Cache area per cached logical qubit (compute ratios, level 1)."""
+    tile = code.qubit_area_mm2(level)
+    tiles = 1 + QLA_ANCILLA_PER_DATA
+    return tiles * tile * (1.0 + COMPUTE_CHANNEL_OVERHEAD)
+
+
+def site_areas(code_key: str, level: int = 2) -> SiteAreas:
+    """Bundle of the per-site areas for one code."""
+    code = by_key(code_key)
+    return SiteAreas(
+        code_key=code_key,
+        level=level,
+        qubit_tile_mm2=qubit_tile_mm2(code, level),
+        qla_site_mm2=qla_site_mm2(level),
+        memory_site_mm2=memory_site_mm2(code, level),
+        compute_block_mm2=compute_block_mm2(code, level),
+    )

@@ -1,0 +1,69 @@
+"""Logical circuits: gate IR, DAG analysis, workload generators, ISA."""
+
+from .circuit import Circuit
+from .dag import CircuitDag, operand_stream, parallelism_series
+from .draper import (
+    AdderLayout,
+    AdderStats,
+    DraperAdder,
+    adder_stats,
+    carry_lookahead_adder,
+)
+from .gates import (
+    Gate,
+    GateKind,
+    TOFFOLI_TRAFFIC_QUBITS,
+    cnot_gate,
+    cphase_gate,
+    h_gate,
+    toffoli_gate,
+    x_gate,
+)
+from .isa import IsaError, assemble, assemble_line, disassemble, round_trip
+from .modexp import (
+    ModExpWorkload,
+    cached_adder_stats,
+    modexp_addition_trace,
+    modexp_logical_qubits,
+    serial_adder_depth,
+    total_additions,
+)
+from .qft import QftCommunication, qft_circuit, qft_gate_counts
+from .shor import ShorEstimate, shor_estimate, shor_kq
+
+__all__ = [
+    "AdderLayout",
+    "AdderStats",
+    "Circuit",
+    "CircuitDag",
+    "DraperAdder",
+    "Gate",
+    "GateKind",
+    "IsaError",
+    "ModExpWorkload",
+    "QftCommunication",
+    "ShorEstimate",
+    "TOFFOLI_TRAFFIC_QUBITS",
+    "shor_estimate",
+    "shor_kq",
+    "adder_stats",
+    "assemble",
+    "assemble_line",
+    "cached_adder_stats",
+    "carry_lookahead_adder",
+    "cnot_gate",
+    "cphase_gate",
+    "disassemble",
+    "h_gate",
+    "modexp_addition_trace",
+    "modexp_logical_qubits",
+    "operand_stream",
+    "parallelism_series",
+    "qft_circuit",
+    "qft_gate_counts",
+    "round_trip",
+    "serial_adder_depth",
+    "toffoli_gate",
+    "total_additions",
+    "x_gate",
+]

@@ -1,0 +1,324 @@
+"""The Draper carry-lookahead quantum adder (quant-ph/0406142).
+
+The basic component of the paper's quantum modular exponentiation: an
+adder ``|a>|b> -> |a>|a+b>`` built from X, CNOT and Toffoli gates with
+logarithmic Toffoli depth.  Carries are computed by a Brent-Kung prefix
+network over (generate, propagate) pairs, organized — exactly as Draper
+et al. present it — in *rounds*:
+
+* **init**:  ``g_i = a_i AND b_i`` into the carry register (Toffoli),
+  ``p_i = a_i XOR b_i`` in place of ``b_i`` (CNOT);
+* **P rounds** (one per tree level): propagate products over
+  power-of-two blocks into tree ancilla;
+* **G rounds**: carries at block boundaries;
+* **C rounds** (levels descending): remaining interior carries;
+* **inverse P rounds**: return the tree ancilla to zero;
+* **sum**: ``s_i = p_i XOR c_i``.
+
+Rounds are global steps of the generated code (the paper's generators
+emit round-structured programs), so each gate carries a *stage* index
+and schedulers treat stage boundaries as barriers.  This gives the
+published Toffoli depth of ``4 lg n + O(1)``.
+
+For the in-place variant the carry register is erased by the *mirror*
+network evaluated on ``(a, NOT s)``, using the identity
+``carries(a, NOT s) == carries(a, b)`` — Draper et al.'s erasure rounds.
+The high carry ``c_n`` (the n+1-st sum bit) is preserved by restricting
+the mirror to the low ``n-1`` positions.
+
+Functional correctness (including ancilla cleanliness) is established
+in the test suite by classical simulation over random operands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import Circuit
+from .gates import Gate, cnot_gate, toffoli_gate, x_gate
+
+TreeOp = Tuple[str, int, int]  # ("P" | "G" | "C", t, m)
+
+
+def _tree_levels(n: int) -> int:
+    return max(n.bit_length() - 1, 0)
+
+
+def _p_level_ops(n: int, t: int) -> List[TreeOp]:
+    return [("P", t, m) for m in range(n >> t)]
+
+
+def _g_level_ops(n: int, t: int) -> List[TreeOp]:
+    return [("G", t, m) for m in range(n >> t)]
+
+
+def _c_level_ops(n: int, t: int) -> List[TreeOp]:
+    m_max = (n - (1 << (t - 1))) >> t
+    return [("C", t, m) for m in range(1, m_max + 1)]
+
+
+@dataclass
+class AdderLayout:
+    """Qubit-id assignment for one carry-lookahead adder instance.
+
+    Registers: ``a`` (first operand, preserved), ``b`` (second operand,
+    replaced by the sum), ``z`` (carries ``c_1 .. c_n``; ``z[n]`` is the
+    carry-out and remains set after the in-place adder), and the
+    propagate-tree ancilla ``p_tree[(t, m)]``.
+    """
+
+    n: int
+    a: List[int] = field(default_factory=list)
+    b: List[int] = field(default_factory=list)
+    z: List[int] = field(default_factory=list)
+    p_tree: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    @staticmethod
+    def allocate(n: int) -> "AdderLayout":
+        if n < 2:
+            raise ValueError("adder width must be at least 2 bits")
+        layout = AdderLayout(n=n)
+        next_id = 0
+
+        def take(count: int) -> List[int]:
+            nonlocal next_id
+            ids = list(range(next_id, next_id + count))
+            next_id += count
+            return ids
+
+        layout.a = take(n)
+        layout.b = take(n)
+        layout.z = take(n)  # z[i] holds carry c_{i+1}
+        for t in range(1, _tree_levels(n) + 1):
+            for m in range(n >> t):
+                layout.p_tree[(t, m)] = take(1)[0]
+        return layout
+
+    @property
+    def n_qubits(self) -> int:
+        return 3 * self.n + len(self.p_tree)
+
+    def carry(self, j: int) -> int:
+        """Qubit id holding carry ``c_j`` (1-indexed)."""
+        if not 1 <= j <= self.n:
+            raise ValueError("carry index out of range")
+        return self.z[j - 1]
+
+    def p_node(self, t: int, m: int) -> int:
+        """Qubit id of propagate block ``P_t[m]``; ``P_0[i]`` is b[i]."""
+        if t == 0:
+            return self.b[m]
+        return self.p_tree[(t, m)]
+
+    @property
+    def carry_out(self) -> int:
+        """Qubit id of the carry-out bit ``c_n``."""
+        return self.carry(self.n)
+
+
+class _StagedBuilder:
+    """Accumulates gates with round (stage) annotations."""
+
+    def __init__(self, layout: AdderLayout, name: str) -> None:
+        self.layout = layout
+        self.circuit = Circuit(n_qubits=layout.n_qubits, name=name)
+        self.stages: List[int] = []
+        self._stage = 0
+        self._emitted_in_stage = 0
+
+    def gate(self, gate: Gate) -> None:
+        self.circuit.append(gate)
+        self.stages.append(self._stage)
+        self._emitted_in_stage += 1
+
+    def barrier(self) -> None:
+        """End the current round (no-op when the round is empty)."""
+        if self._emitted_in_stage:
+            self._stage += 1
+            self._emitted_in_stage = 0
+
+    def tree_op(self, op: TreeOp) -> None:
+        layout = self.layout
+        kind, t, m = op
+        if kind == "P":
+            self.gate(toffoli_gate(
+                layout.p_node(t - 1, 2 * m),
+                layout.p_node(t - 1, 2 * m + 1),
+                layout.p_node(t, m),
+            ))
+        elif kind == "G":
+            lo = (m << t) + (1 << (t - 1))
+            hi = (m + 1) << t
+            self.gate(toffoli_gate(
+                layout.carry(lo),
+                layout.p_node(t - 1, 2 * m + 1),
+                layout.carry(hi),
+            ))
+        elif kind == "C":
+            base = m << t
+            target = base + (1 << (t - 1))
+            self.gate(toffoli_gate(
+                layout.carry(base),
+                layout.p_node(t - 1, 2 * m),
+                layout.carry(target),
+            ))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown tree op {kind!r}")
+
+    def tree_round(self, ops: Sequence[TreeOp]) -> None:
+        for op in ops:
+            self.tree_op(op)
+        self.barrier()
+
+
+@dataclass(frozen=True)
+class DraperAdder:
+    """A constructed adder: circuit, register layout, round stages."""
+
+    layout: AdderLayout
+    circuit: Circuit
+    stages: Tuple[int, ...]
+    in_place: bool
+
+    @property
+    def n(self) -> int:
+        return self.layout.n
+
+    @property
+    def n_rounds(self) -> int:
+        return (self.stages[-1] + 1) if self.stages else 0
+
+    def add(self, a_value: int, b_value: int) -> Tuple[int, List[int]]:
+        """Classically execute the adder; return (sum, final bits)."""
+        n = self.n
+        if not 0 <= a_value < (1 << n) or not 0 <= b_value < (1 << n):
+            raise ValueError("operands must fit the adder width")
+        bits = [0] * self.circuit.n_qubits
+        for i in range(n):
+            bits[self.layout.a[i]] = (a_value >> i) & 1
+            bits[self.layout.b[i]] = (b_value >> i) & 1
+        final = self.circuit.simulate_classical(bits)
+        total = sum(final[self.layout.b[i]] << i for i in range(n))
+        total += final[self.layout.carry_out] << n
+        return total, final
+
+
+def carry_lookahead_adder(n: int, in_place: bool = True) -> DraperAdder:
+    """Build an ``n``-bit Draper carry-lookahead adder.
+
+    ``in_place=True`` (the default) erases the interior carries and the
+    propagate tree, leaving only ``a``, the sum in ``b`` and the
+    carry-out; ``in_place=False`` stops after the sum step, leaving the
+    carry register dirty (the steady-state form when carry registers are
+    recycled across an addition tree).
+    """
+    layout = AdderLayout.allocate(n)
+    builder = _StagedBuilder(layout, name=f"draper-{n}")
+    levels = _tree_levels(n)
+
+    # init rounds: g into z, then p into b
+    for i in range(n):
+        builder.gate(toffoli_gate(layout.a[i], layout.b[i], layout.carry(i + 1)))
+    builder.barrier()
+    for i in range(n):
+        builder.gate(cnot_gate(layout.a[i], layout.b[i]))
+    builder.barrier()
+
+    # P rounds, G rounds, C rounds, inverse P rounds
+    for t in range(1, levels + 1):
+        builder.tree_round(_p_level_ops(n, t))
+    for t in range(1, levels + 1):
+        builder.tree_round(_g_level_ops(n, t))
+    for t in range(levels, 0, -1):
+        builder.tree_round(_c_level_ops(n, t))
+    for t in range(levels, 0, -1):
+        builder.tree_round(_p_level_ops(n, t))  # Toffolis are self-inverse
+
+    # sum round: s_i = p_i XOR c_i for i >= 1 (s_0 = p_0 already)
+    for i in range(1, n):
+        builder.gate(cnot_gate(layout.carry(i), layout.b[i]))
+    builder.barrier()
+
+    if not in_place:
+        return DraperAdder(
+            layout=layout,
+            circuit=builder.circuit,
+            stages=tuple(builder.stages),
+            in_place=False,
+        )
+
+    # Erasure of carries c_1 .. c_{n-1} via the mirror network on
+    # (a, NOT s) restricted to the low n-1 bits; c_n is the carry-out
+    # and is kept.
+    n_low = n - 1
+    low_levels = _tree_levels(n_low)
+    for i in range(n_low):
+        builder.gate(x_gate(layout.b[i]))            # s -> NOT s
+    builder.barrier()
+    for i in range(n_low):
+        builder.gate(cnot_gate(layout.a[i], layout.b[i]))  # -> p'
+    builder.barrier()
+    for t in range(1, low_levels + 1):               # P' rounds
+        builder.tree_round(_p_level_ops(n_low, t))
+    for t in range(1, low_levels + 1):               # inverse C rounds
+        builder.tree_round(list(reversed(_c_level_ops(n_low, t))))
+    for t in range(low_levels, 0, -1):               # inverse G rounds
+        builder.tree_round(list(reversed(_g_level_ops(n_low, t))))
+    for t in range(low_levels, 0, -1):               # P' uncompute
+        builder.tree_round(_p_level_ops(n_low, t))
+    for i in range(n_low):
+        builder.gate(cnot_gate(layout.a[i], layout.b[i]))  # p' -> NOT s
+    builder.barrier()
+    for i in range(n_low):
+        builder.gate(toffoli_gate(layout.a[i], layout.b[i], layout.carry(i + 1)))
+    builder.barrier()
+    for i in range(n_low):
+        builder.gate(x_gate(layout.b[i]))            # NOT s -> s
+    builder.barrier()
+    return DraperAdder(
+        layout=layout,
+        circuit=builder.circuit,
+        stages=tuple(builder.stages),
+        in_place=True,
+    )
+
+
+@dataclass(frozen=True)
+class AdderStats:
+    """Size/shape statistics of one adder instance."""
+
+    n: int
+    n_qubits: int
+    gate_count: int
+    toffoli_count: int
+    cnot_count: int
+    n_rounds: int
+    depth_levels: int
+    critical_path_slots: int
+    max_parallelism: int
+
+    @property
+    def total_ec_slots(self) -> int:
+        return 15 * self.toffoli_count + (self.gate_count - self.toffoli_count)
+
+
+def adder_stats(n: int, in_place: bool = True) -> AdderStats:
+    """Build an adder and summarize it (cached upstream by callers)."""
+    from .dag import CircuitDag
+    from .gates import GateKind
+
+    adder = carry_lookahead_adder(n, in_place=in_place)
+    dag = CircuitDag.build(adder.circuit)
+    return AdderStats(
+        n=n,
+        n_qubits=adder.circuit.n_qubits,
+        gate_count=len(adder.circuit),
+        toffoli_count=adder.circuit.toffoli_count,
+        cnot_count=adder.circuit.count(GateKind.CNOT),
+        n_rounds=adder.n_rounds,
+        depth_levels=dag.depth(),
+        critical_path_slots=dag.critical_path_slots(),
+        max_parallelism=dag.max_parallelism(),
+    )

@@ -1,0 +1,117 @@
+"""Logical-gate intermediate representation.
+
+Gates here are *logical*: they act on encoded qubits and each is
+followed by an error-correction step in the timing model.  The paper's
+cost convention (Section 5.1/6) is captured by ``ec_slots``: a
+fault-tolerant Toffoli costs fifteen two-qubit gate periods, every other
+gate costs one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class GateKind(enum.Enum):
+    """Logical gate vocabulary used by the workloads."""
+
+    X = "x"
+    Z = "z"
+    H = "h"
+    S = "s"
+    T = "t"
+    CNOT = "cnot"
+    CPHASE = "cphase"
+    TOFFOLI = "toffoli"
+    MEASURE = "measure"
+
+    @property
+    def n_qubits(self) -> int:
+        return _ARITY[self]
+
+    @property
+    def ec_slots(self) -> int:
+        """Duration in gate-EC periods (Toffoli = 15, Section 5.1)."""
+        return 15 if self is GateKind.TOFFOLI else 1
+
+    @property
+    def is_classical(self) -> bool:
+        """True when the gate permutes computational-basis states."""
+        return self in (GateKind.X, GateKind.CNOT, GateKind.TOFFOLI)
+
+
+_ARITY = {
+    GateKind.X: 1,
+    GateKind.Z: 1,
+    GateKind.H: 1,
+    GateKind.S: 1,
+    GateKind.T: 1,
+    GateKind.CNOT: 2,
+    GateKind.CPHASE: 2,
+    GateKind.TOFFOLI: 3,
+    GateKind.MEASURE: 1,
+}
+
+#: Logical qubits participating in one fault-tolerant Toffoli, including
+#: the extra logical ancilla and cat-state qubits (Section 5.1's
+#: "flow of data between these nine qubits").
+TOFFOLI_TRAFFIC_QUBITS = 9
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One logical gate on integer qubit ids.
+
+    ``param`` carries the rotation order for controlled-phase gates
+    (``R_k`` in the QFT); it is zero elsewhere.
+    """
+
+    kind: GateKind
+    qubits: Tuple[int, ...]
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.qubits) != self.kind.n_qubits:
+            raise ValueError(
+                f"{self.kind.value} takes {self.kind.n_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in {self.kind.value} gate")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError("qubit ids must be non-negative")
+
+    @property
+    def ec_slots(self) -> int:
+        return self.kind.ec_slots
+
+    def label(self) -> str:
+        args = " ".join(f"q{q}" for q in self.qubits)
+        if self.kind is GateKind.CPHASE:
+            return f"{self.kind.value} {args} {self.param}"
+        return f"{self.kind.value} {args}"
+
+
+def x_gate(q: int) -> Gate:
+    return Gate(GateKind.X, (q,))
+
+
+def h_gate(q: int) -> Gate:
+    return Gate(GateKind.H, (q,))
+
+
+def cnot_gate(control: int, target: int) -> Gate:
+    return Gate(GateKind.CNOT, (control, target))
+
+
+def cphase_gate(control: int, target: int, order: int) -> Gate:
+    """Controlled ``R_order`` phase rotation (QFT building block)."""
+    if order < 1:
+        raise ValueError("rotation order must be >= 1")
+    return Gate(GateKind.CPHASE, (control, target), param=order)
+
+
+def toffoli_gate(c1: int, c2: int, target: int) -> Gate:
+    return Gate(GateKind.TOFFOLI, (c1, c2, target))

@@ -1,0 +1,102 @@
+"""Assembly-like instruction format for the cache simulator (Section 5.2).
+
+The paper's cache simulator consumes "a sequence of instructions; each
+instruction is similar to assembly language and describes a logical gate
+between qubits".  This module defines that textual format and converts
+circuits to and from it:
+
+    toffoli q0 q64 q128
+    cnot q0 q64
+    cphase q3 q2 5
+    h q1
+
+Whitespace separates tokens; lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .circuit import Circuit
+from .gates import Gate, GateKind
+
+_KIND_BY_NAME = {kind.value: kind for kind in GateKind}
+
+
+class IsaError(ValueError):
+    """Raised on malformed ISA text."""
+
+
+def assemble_line(line: str) -> Gate:
+    """Parse one instruction line into a :class:`Gate`."""
+    tokens = line.split()
+    if not tokens:
+        raise IsaError("empty instruction")
+    name = tokens[0].lower()
+    if name not in _KIND_BY_NAME:
+        raise IsaError(f"unknown mnemonic {name!r}")
+    kind = _KIND_BY_NAME[name]
+    qubit_tokens = tokens[1:1 + kind.n_qubits]
+    if len(qubit_tokens) != kind.n_qubits:
+        raise IsaError(f"{name} expects {kind.n_qubits} qubit operands")
+    qubits = []
+    for tok in qubit_tokens:
+        if not tok.startswith("q") or not tok[1:].isdigit():
+            raise IsaError(f"bad qubit operand {tok!r}")
+        qubits.append(int(tok[1:]))
+    rest = tokens[1 + kind.n_qubits:]
+    param = 0
+    if kind is GateKind.CPHASE:
+        if len(rest) != 1 or not rest[0].isdigit():
+            raise IsaError("cphase expects a rotation-order parameter")
+        param = int(rest[0])
+    elif rest:
+        raise IsaError(f"trailing tokens on {name}: {rest}")
+    return Gate(kind, tuple(qubits), param=param)
+
+
+def assemble(text: str, n_qubits: int = 0, name: str = "") -> Circuit:
+    """Parse a whole program; infer the qubit count unless given."""
+    gates: List[Gate] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        gates.append(assemble_line(line))
+    if not gates and n_qubits == 0:
+        raise IsaError("program has no instructions and no qubit count")
+    needed = 1 + max((max(g.qubits) for g in gates), default=0)
+    total = max(n_qubits, needed)
+    return Circuit(n_qubits=total, gates=gates, name=name)
+
+
+def disassemble(circuit: Circuit) -> str:
+    """Render a circuit as ISA text (one instruction per line)."""
+    header = f"# {circuit.name or 'circuit'}: {circuit.n_qubits} qubits\n"
+    return header + "\n".join(g.label() for g in circuit.gates) + "\n"
+
+
+def round_trip(circuit: Circuit) -> Circuit:
+    """assemble(disassemble(c)) — used by tests and format checks."""
+    return assemble(disassemble(circuit), n_qubits=circuit.n_qubits,
+                    name=circuit.name)
+
+
+def write_program(path: str, circuit: Circuit) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(disassemble(circuit))
+
+
+def read_program(path: str, n_qubits: int = 0) -> Circuit:
+    with open(path, "r", encoding="utf-8") as handle:
+        return assemble(handle.read(), n_qubits=n_qubits)
+
+
+def gates_from_lines(lines: Iterable[str]) -> List[Gate]:
+    """Parse an iterable of instruction lines (streaming interface)."""
+    gates = []
+    for raw in lines:
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            gates.append(assemble_line(line))
+    return gates

@@ -1,0 +1,118 @@
+"""Quantum modular exponentiation workload model (Sections 5.1, 6.1).
+
+Modular exponentiation dominates Shor's algorithm: ``2n`` controlled
+modular multiplications, each reducible to conditional modular additions
+performed by the Draper carry-lookahead adder.  Following the paper's
+maximal-parallelism code generators, the conditional additions inside a
+multiplication are combined in a logarithmic tree, so the *serial* adder
+depth per multiplication is ``ceil(lg n)`` plus a constant number of
+modular-reduction additions; a full modular exponentiation is ``2n``
+such multiplications back to back.
+
+Building the literal circuit for 1024-bit inputs (billions of gates) is
+neither necessary nor useful — all architecture results consume the
+workload through the counts and the representative adder circuit exposed
+here.  Small instances can still be materialized as real gate sequences
+for the cache simulator via :func:`modexp_addition_trace`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .circuit import Circuit
+from .draper import AdderStats, adder_stats, carry_lookahead_adder
+
+#: Extra serial additions per multiplication step for modular reduction
+#: (subtract-modulus / compare / correct), a documented constant of the
+#: workload model.
+MODULAR_REDUCTION_ADDS = 3
+
+#: Logical qubits needed for an n-bit modular exponentiation: the 2n-bit
+#: exponent register plus multiplicand, accumulator and carry/scratch
+#: space (~5n, cf. Beckman et al.-style layouts).
+QUBITS_PER_BIT = 5
+
+
+def modexp_logical_qubits(n_bits: int) -> int:
+    """Logical data qubits a modular exponentiation instance occupies."""
+    if n_bits < 2:
+        raise ValueError("modular exponentiation needs at least 2 bits")
+    return QUBITS_PER_BIT * n_bits
+
+
+def serial_adder_depth(n_bits: int) -> int:
+    """Sequential adder slots on the critical path of a modexp.
+
+    ``2n`` controlled multiplications, each a log-tree of conditional
+    additions plus modular reduction.
+    """
+    if n_bits < 2:
+        raise ValueError("modular exponentiation needs at least 2 bits")
+    per_multiply = math.ceil(math.log2(n_bits)) + MODULAR_REDUCTION_ADDS
+    return 2 * n_bits * per_multiply
+
+
+def total_additions(n_bits: int) -> int:
+    """Total (not serial) additions across the modular exponentiation."""
+    if n_bits < 2:
+        raise ValueError("modular exponentiation needs at least 2 bits")
+    per_multiply = n_bits + MODULAR_REDUCTION_ADDS
+    return 2 * n_bits * per_multiply
+
+
+@dataclass(frozen=True)
+class ModExpWorkload:
+    """Shape summary of one modular-exponentiation instance."""
+
+    n_bits: int
+    adder: AdderStats
+
+    @staticmethod
+    def for_bits(n_bits: int) -> "ModExpWorkload":
+        return ModExpWorkload(n_bits=n_bits, adder=cached_adder_stats(n_bits))
+
+    @property
+    def logical_qubits(self) -> int:
+        return modexp_logical_qubits(self.n_bits)
+
+    @property
+    def serial_adders(self) -> int:
+        return serial_adder_depth(self.n_bits)
+
+    @property
+    def total_adders(self) -> int:
+        return total_additions(self.n_bits)
+
+    @property
+    def toffolis_per_adder(self) -> int:
+        return self.adder.toffoli_count
+
+    @property
+    def gates_per_adder(self) -> int:
+        return self.adder.gate_count
+
+
+@lru_cache(maxsize=None)
+def cached_adder_stats(n_bits: int) -> AdderStats:
+    """Adder statistics, cached — 1024-bit builds take a few seconds."""
+    return adder_stats(n_bits)
+
+
+def modexp_addition_trace(n_bits: int, n_adders: int = 3) -> Circuit:
+    """A short, real gate trace: ``n_adders`` back-to-back additions.
+
+    Used by the cache simulator and examples as a concrete instruction
+    stream with modexp-like locality (the accumulator register is reused
+    across additions, the carry/scratch registers are re-touched).
+    """
+    if n_adders < 1:
+        raise ValueError("need at least one addition")
+    adder = carry_lookahead_adder(n_bits)
+    base = adder.circuit
+    trace = Circuit(n_qubits=base.n_qubits, name=f"modexp-trace-{n_bits}")
+    for _ in range(n_adders):
+        trace.extend(base.gates)
+    return trace

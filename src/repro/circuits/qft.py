@@ -1,0 +1,62 @@
+"""Quantum Fourier Transform circuit (Section 6.1).
+
+The QFT over ``n`` qubits: a Hadamard per qubit and a controlled-phase
+rotation ``R_k`` between every qubit pair — ``n(n-1)/2`` two-qubit gates
+requiring all-to-all personalized communication, the paper's stress test
+for the CQLA's communication infrastructure.
+
+``approximation_degree`` truncates rotations smaller than ``R_k`` (the
+standard banded/approximate QFT); the paper's study uses the exact form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .circuit import Circuit
+from .gates import GateKind, cphase_gate, h_gate
+
+
+def qft_circuit(n: int, approximation_degree: Optional[int] = None) -> Circuit:
+    """Build the (optionally approximate) QFT on ``n`` qubits.
+
+    Qubit 0 is the most significant; the final swap network is omitted
+    (it is a relabeling for the architecture study).
+    """
+    if n < 1:
+        raise ValueError("QFT needs at least one qubit")
+    if approximation_degree is not None and approximation_degree < 1:
+        raise ValueError("approximation degree must be >= 1")
+    circuit = Circuit(n_qubits=n, name=f"qft-{n}")
+    for target in range(n):
+        circuit.append(h_gate(target))
+        for control in range(target + 1, n):
+            order = control - target + 1
+            if approximation_degree is not None and order > approximation_degree:
+                break
+            circuit.append(cphase_gate(control, target, order))
+    return circuit
+
+
+def qft_gate_counts(n: int) -> Tuple[int, int]:
+    """(Hadamards, controlled-phase gates) of the exact QFT."""
+    return n, n * (n - 1) // 2
+
+
+@dataclass(frozen=True)
+class QftCommunication:
+    """All-to-all personalized communication demand of the QFT.
+
+    Every controlled-phase gate requires its two operands co-located; on
+    the CQLA mesh that is one personalized message per qubit pair.
+    """
+
+    n: int
+
+    @property
+    def messages(self) -> int:
+        return self.n * (self.n - 1) // 2
+
+    def pair_list(self) -> List[Tuple[int, int]]:
+        return [(i, j) for i in range(self.n) for j in range(i + 1, self.n)]

@@ -1,0 +1,44 @@
+"""The CQLA core: design objects, memory hierarchy, fidelity, metrics."""
+
+from .cqla import CqlaDesign
+from .design_space import (
+    HierarchyRow,
+    PAPER_BLOCK_CHOICES,
+    PAPER_INPUT_SIZES,
+    SpecializationRow,
+    block_choices,
+    hierarchy_sweep,
+    performance_blocks,
+    specialization_sweep,
+)
+from .fidelity import FidelityBudget, application_kq
+from .granularity import (
+    GranularityStudy,
+    fine_grained_gain,
+    granularity_study,
+)
+from .hierarchy import DEFAULT_POLICY, HierarchyPolicy, MemoryHierarchy
+from .metrics import DesignMetrics, gain_product, utilization_efficiency
+
+__all__ = [
+    "CqlaDesign",
+    "DEFAULT_POLICY",
+    "DesignMetrics",
+    "FidelityBudget",
+    "GranularityStudy",
+    "HierarchyPolicy",
+    "fine_grained_gain",
+    "granularity_study",
+    "HierarchyRow",
+    "MemoryHierarchy",
+    "PAPER_BLOCK_CHOICES",
+    "PAPER_INPUT_SIZES",
+    "SpecializationRow",
+    "application_kq",
+    "block_choices",
+    "gain_product",
+    "hierarchy_sweep",
+    "performance_blocks",
+    "specialization_sweep",
+    "utilization_efficiency",
+]

@@ -1,0 +1,102 @@
+"""The Compressed Quantum Logic Array — the paper's contribution.
+
+:class:`CqlaDesign` is the top-level design object: it instantiates a
+CQLA floorplan for a modular-exponentiation workload, evaluates area
+against the QLA baseline, schedules the Draper adder onto its compute
+blocks, and reports the Table 4 metrics.  The memory-hierarchy variant
+(Table 5) composes it with :class:`repro.core.hierarchy.MemoryHierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..arch.qla import QlaMachine
+from ..arch.regions import CqlaFloorplan
+from ..circuits.modexp import modexp_logical_qubits, serial_adder_depth
+from ..ecc.concatenated import by_key
+from ..sim.scheduler import adder_balanced_slots
+from .metrics import DesignMetrics
+
+
+@dataclass(frozen=True)
+class CqlaDesign:
+    """One specialization-only CQLA design point (Section 5.1).
+
+    Parameters
+    ----------
+    code_key:
+        ``"steane"`` or ``"bacon_shor"`` — the EC code of memory and
+        compute (the QLA baseline always uses Steane).
+    n_bits:
+        Modular-exponentiation input size; memory is provisioned for
+        its working set.
+    n_blocks:
+        Level-2 compute blocks.
+    """
+
+    code_key: str
+    n_bits: int
+    n_blocks: int
+
+    def __post_init__(self) -> None:
+        by_key(self.code_key)  # validates the key
+        if self.n_bits < 2:
+            raise ValueError("input size must be at least 2 bits")
+        if self.n_blocks < 1:
+            raise ValueError("need at least one compute block")
+
+    # -- structure --------------------------------------------------------
+    @cached_property
+    def floorplan(self) -> CqlaFloorplan:
+        return CqlaFloorplan(
+            code_key=self.code_key,
+            memory_qubits=modexp_logical_qubits(self.n_bits),
+            l2_blocks=self.n_blocks,
+        )
+
+    @cached_property
+    def baseline(self) -> QlaMachine:
+        return QlaMachine(self.n_bits)
+
+    # -- area -------------------------------------------------------------
+    def area_mm2(self) -> float:
+        return self.floorplan.area_mm2()
+
+    def area_reduction(self) -> float:
+        """Table 4 "Area Reduced": QLA area over CQLA area."""
+        return self.baseline.area_mm2() / self.area_mm2()
+
+    # -- time -------------------------------------------------------------
+    def logical_op_time_s(self, level: int = 2) -> float:
+        return by_key(self.code_key).logical_op_time_s(level)
+
+    def adder_makespan_slots(self) -> int:
+        return adder_balanced_slots(self.n_bits, self.n_blocks)
+
+    def adder_time_s(self) -> float:
+        """Adder latency on this design's blocks at level 2."""
+        return self.adder_makespan_slots() * self.logical_op_time_s(2)
+
+    def modexp_time_s(self) -> float:
+        return serial_adder_depth(self.n_bits) * self.adder_time_s()
+
+    def speedup(self) -> float:
+        """Table 4 "SpeedUp": QLA adder time over CQLA adder time.
+
+        Below 1 for Steane (fewer blocks than maximal parallelism); the
+        Bacon-Shor code's faster error correction pushes it past 1.
+        """
+        return self.baseline.adder_time_s() / self.adder_time_s()
+
+    # -- combined -----------------------------------------------------------
+    def metrics(self) -> DesignMetrics:
+        return DesignMetrics(
+            area_reduction=self.area_reduction(),
+            speedup=self.speedup(),
+        )
+
+    def gain_product(self) -> float:
+        """Table 4 "Gain Product" (QLA = 1.0)."""
+        return self.metrics().gain_product

@@ -1,0 +1,118 @@
+"""Design-space enumeration for the CQLA studies (Tables 4 and 5).
+
+The paper evaluates each input size at two compute-block counts — a
+utilization-leaning point and a performance-leaning point, both perfect
+squares near ``n/8`` data-qubit-blocks.  The published pairs are kept
+verbatim; other sizes fall back to the nearest-square rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .cqla import CqlaDesign
+from .hierarchy import MemoryHierarchy
+
+#: Input sizes of the paper's evaluation.
+PAPER_INPUT_SIZES = (32, 64, 128, 256, 512, 1024)
+
+#: Published (utilization-leaning, performance-leaning) block pairs.
+PAPER_BLOCK_CHOICES: Dict[int, Tuple[int, int]] = {
+    32: (4, 9),
+    64: (9, 16),
+    128: (16, 25),
+    256: (36, 49),
+    512: (64, 81),
+    1024: (100, 121),
+}
+
+
+def block_choices(n_bits: int) -> Tuple[int, int]:
+    """The two compute-block counts studied for an input size."""
+    if n_bits in PAPER_BLOCK_CHOICES:
+        return PAPER_BLOCK_CHOICES[n_bits]
+    if n_bits < 2:
+        raise ValueError("input size must be at least 2 bits")
+    side = max(2, round(math.sqrt(n_bits / 8.0)))
+    return side * side, (side + 1) * (side + 1)
+
+
+def performance_blocks(n_bits: int) -> int:
+    """The performance-leaning block count for one input size."""
+    return block_choices(n_bits)[1]
+
+
+@dataclass(frozen=True)
+class SpecializationRow:
+    """One row of Table 4."""
+
+    n_bits: int
+    n_blocks: int
+    code_key: str
+    area_reduction: float
+    speedup: float
+    gain_product: float
+
+
+def specialization_sweep(
+    sizes: Sequence[int] = PAPER_INPUT_SIZES,
+    code_keys: Sequence[str] = ("steane", "bacon_shor"),
+) -> List[SpecializationRow]:
+    """Evaluate every Table 4 cell."""
+    rows: List[SpecializationRow] = []
+    for n_bits in sizes:
+        for n_blocks in block_choices(n_bits):
+            for code_key in code_keys:
+                design = CqlaDesign(code_key, n_bits, n_blocks)
+                rows.append(SpecializationRow(
+                    n_bits=n_bits,
+                    n_blocks=n_blocks,
+                    code_key=code_key,
+                    area_reduction=design.area_reduction(),
+                    speedup=design.speedup(),
+                    gain_product=design.gain_product(),
+                ))
+    return rows
+
+
+@dataclass(frozen=True)
+class HierarchyRow:
+    """One row of Table 5."""
+
+    code_key: str
+    parallel_transfers: int
+    n_bits: int
+    l1_speedup: float
+    l2_speedup: float
+    adder_speedup: float
+    area_reduction: float
+    gain_product: float
+
+
+def hierarchy_sweep(
+    sizes: Sequence[int] = (256, 512, 1024),
+    code_keys: Sequence[str] = ("steane", "bacon_shor"),
+    transfer_options: Sequence[int] = (10, 5),
+) -> List[HierarchyRow]:
+    """Evaluate every Table 5 cell."""
+    rows: List[HierarchyRow] = []
+    for code_key in code_keys:
+        for par in transfer_options:
+            for n_bits in sizes:
+                design = CqlaDesign(
+                    code_key, n_bits, performance_blocks(n_bits)
+                )
+                hierarchy = MemoryHierarchy(design, parallel_transfers=par)
+                rows.append(HierarchyRow(
+                    code_key=code_key,
+                    parallel_transfers=par,
+                    n_bits=n_bits,
+                    l1_speedup=hierarchy.l1_speedup(),
+                    l2_speedup=hierarchy.l2_speedup(),
+                    adder_speedup=hierarchy.adder_speedup(),
+                    area_reduction=design.area_reduction(),
+                    gain_product=hierarchy.gain_product(),
+                ))
+    return rows

@@ -1,0 +1,96 @@
+"""System-fidelity budgeting with multiple encoding levels (Section 5.2).
+
+A quantum computer running an application of size ``S = K * Q`` (K time
+steps on Q logical qubits) needs a per-operation failure rate of at most
+``1 / (K * Q)``.  With the memory hierarchy, some operations run at the
+fast-but-weaker level 1; this module computes how many may do so.
+
+Per-level failure rates come from Gottesman's local fault-tolerance
+estimate (Equation 1), implemented in
+:meth:`repro.ecc.concatenated.ConcatenatedCode.failure_rate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.modexp import modexp_logical_qubits, serial_adder_depth
+from ..ecc.concatenated import ConcatenatedCode, by_key
+
+
+def application_kq(n_bits: int, adder_slots: int) -> float:
+    """K*Q of an ``n_bits`` modular exponentiation.
+
+    ``K`` is the serial gate-slot count (adders on the critical path
+    times slots per adder) and ``Q`` the logical data qubits.
+    """
+    if adder_slots < 1:
+        raise ValueError("adder must take at least one slot")
+    k = serial_adder_depth(n_bits) * adder_slots
+    q = modexp_logical_qubits(n_bits)
+    return float(k) * float(q)
+
+
+@dataclass(frozen=True)
+class FidelityBudget:
+    """Error budget of one application instance on one code."""
+
+    code_key: str
+    n_bits: int
+    adder_slots: int
+
+    @property
+    def code(self) -> ConcatenatedCode:
+        return by_key(self.code_key)
+
+    @property
+    def kq(self) -> float:
+        return application_kq(self.n_bits, self.adder_slots)
+
+    @property
+    def budget_per_op(self) -> float:
+        """Maximum tolerable per-operation failure probability."""
+        return 1.0 / self.kq
+
+    def failure_rate(self, level: int) -> float:
+        return self.code.failure_rate(level)
+
+    def required_level(self) -> int:
+        """Minimum uniform encoding level meeting the budget."""
+        return self.code.min_level_for(self.budget_per_op)
+
+    def max_l1_op_fraction(self) -> float:
+        """Largest fraction of operations that may run at level 1.
+
+        Splitting operations between levels, the average failure rate is
+        ``f * p1 + (1 - f) * p2``; solving against the budget gives the
+        admissible ``f``, clipped to [0, 1].
+        """
+        p1 = self.failure_rate(1)
+        p2 = self.failure_rate(2)
+        budget = self.budget_per_op
+        if p1 <= budget:
+            return 1.0
+        if p2 >= budget:
+            return 0.0
+        return (budget - p2) / (p1 - p2)
+
+    def l1_time_fraction(self, l1_op_fraction: float) -> float:
+        """Convert an operation fraction into a wall-clock fraction.
+
+        Level-1 operations are much shorter, so even a sizable operation
+        share is a small share of execution time (the paper's "only 2%
+        of the total execution time in level 1" style statement).
+        """
+        if not 0.0 <= l1_op_fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        t1 = self.code.logical_op_time_s(1)
+        t2 = self.code.logical_op_time_s(2)
+        time_l1 = l1_op_fraction * t1
+        time_l2 = (1.0 - l1_op_fraction) * t2
+        total = time_l1 + time_l2
+        return time_l1 / total if total else 0.0
+
+    def policy_is_safe(self, l1_op_fraction: float) -> bool:
+        """Does a given L1 operation share keep the system reliable?"""
+        return l1_op_fraction <= self.max_l1_op_fraction() + 1e-12

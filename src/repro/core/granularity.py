@@ -1,0 +1,103 @@
+"""Mixed-granularity level scheduling (the paper's Section 7 direction).
+
+"Currently, we perform the whole adder at the fast level 1 encoding or
+at the level 2 encoding; clever instruction scheduling techniques can
+allow us to improve performance by reducing granularity."
+
+This module explores that: instead of whole 1:2 addition interleaving,
+choose the *fraction* of additions run at level 1 — per design point —
+to maximize throughput subject to the Gottesman fidelity budget, and
+compare against the paper's fixed policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .cqla import CqlaDesign
+from .fidelity import FidelityBudget
+from .hierarchy import HierarchyPolicy, MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class GranularityPoint:
+    """One candidate L1 share and its evaluation."""
+
+    l1_fraction: float
+    adder_speedup: float
+    safe: bool
+
+
+@dataclass(frozen=True)
+class GranularityStudy:
+    """Sweep of L1 operation shares for one hierarchy design."""
+
+    design: CqlaDesign
+    parallel_transfers: int
+    points: List[GranularityPoint]
+
+    def best_safe(self) -> GranularityPoint:
+        """Fastest point that respects the fidelity budget."""
+        safe = [p for p in self.points if p.safe]
+        if not safe:
+            raise ValueError("no safe operating point — raise the level")
+        return max(safe, key=lambda p: p.adder_speedup)
+
+    def paper_policy_point(self) -> GranularityPoint:
+        """The fixed 1:2 policy's position in the sweep."""
+        target = 1.0 / 3.0
+        return min(self.points, key=lambda p: abs(p.l1_fraction - target))
+
+
+def _fraction_speedup(
+    hierarchy: MemoryHierarchy, l1_fraction: float
+) -> float:
+    """Average per-addition speedup at an arbitrary L1 share.
+
+    Continuous generalization of
+    :meth:`repro.core.hierarchy.HierarchyPolicy.adder_speedup`.
+    """
+    s1 = hierarchy.l1_speedup()
+    s2 = hierarchy.l2_speedup()
+    return l1_fraction * s1 * s2 + (1.0 - l1_fraction) * s2
+
+
+def granularity_study(
+    design: CqlaDesign,
+    parallel_transfers: int = 10,
+    steps: int = 11,
+) -> GranularityStudy:
+    """Sweep L1 shares from 0 to 1 and mark fidelity-safe points."""
+    if steps < 2:
+        raise ValueError("need at least two sweep points")
+    hierarchy = MemoryHierarchy(design, parallel_transfers=parallel_transfers)
+    budget = FidelityBudget(
+        design.code_key, design.n_bits,
+        adder_slots=design.adder_makespan_slots(),
+    )
+    max_fraction = budget.max_l1_op_fraction()
+    points = []
+    for i in range(steps):
+        fraction = i / (steps - 1)
+        points.append(GranularityPoint(
+            l1_fraction=fraction,
+            adder_speedup=_fraction_speedup(hierarchy, fraction),
+            safe=fraction <= max_fraction + 1e-12,
+        ))
+    return GranularityStudy(
+        design=design,
+        parallel_transfers=parallel_transfers,
+        points=points,
+    )
+
+
+def fine_grained_gain(design: CqlaDesign, parallel_transfers: int = 10) -> float:
+    """Speedup of the best safe share over the fixed 1:2 policy."""
+    study = granularity_study(design, parallel_transfers)
+    best = study.best_safe()
+    fixed = HierarchyPolicy().adder_speedup(
+        MemoryHierarchy(design, parallel_transfers=parallel_transfers).l1_speedup(),
+        design.speedup(),
+    )
+    return best.adder_speedup / fixed

@@ -1,0 +1,47 @@
+"""Evaluation metrics of the CQLA study (Section 5).
+
+The paper condenses its comparisons into the *gain product*:
+
+``GP = (Area_old * AdderTime_old) / (Area_CQLA * AdderTime_CQLA)``
+
+the joint area-time improvement over the prior QLA design (whose gain
+product is 1.0 by definition).  Since area enters as a reduction factor
+and time as a speedup, ``GP = AreaReduction * Speedup``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def gain_product(area_reduction: float, speedup: float) -> float:
+    """Joint area-time gain over the QLA baseline."""
+    if area_reduction <= 0 or speedup <= 0:
+        raise ValueError("area reduction and speedup must be positive")
+    return area_reduction * speedup
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """Bundle of the comparison metrics for one design point."""
+
+    area_reduction: float
+    speedup: float
+
+    @property
+    def gain_product(self) -> float:
+        return gain_product(self.area_reduction, self.speedup)
+
+
+def utilization_efficiency(utilization: float, speedup: float) -> float:
+    """Balance score for the utilization-vs-performance trade (Fig. 6a).
+
+    The paper frames block-count selection as balancing utilization
+    against speedup; the product is the simplest scalarization and peaks
+    at the knee of the curve.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be in [0, 1]")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return utilization * speedup

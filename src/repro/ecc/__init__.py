@@ -1,0 +1,83 @@
+"""Error correction: Pauli algebra, codes, concatenation and transfer."""
+
+from .bacon_shor import bacon_shor_code
+from .clifford import CliffordGate, cnot, conjugate, h, s, sdg, x, y, z
+from .concatenated import (
+    BACON_SHOR_SPEC,
+    STEANE_SPEC,
+    CodeSpec,
+    ConcatenatedCode,
+    bacon_shor_concatenated,
+    by_key,
+    steane_concatenated,
+)
+from .fault_injection import (
+    InjectionResult,
+    bacon_shor_encoder_injection,
+    circuit_pseudo_threshold,
+    inject_encoder_faults,
+    steane_encoder_injection,
+)
+from .montecarlo import MonteCarloResult, logical_error_rate, pseudo_threshold
+from .tableau import Tableau
+from .pauli import Pauli, enumerate_errors
+from .schedule import (
+    SyndromeCost,
+    bacon_shor_syndrome_schedule,
+    l1_ec_cycles,
+    l1_syndrome_cycles,
+    steane_syndrome_schedule,
+)
+from .stabilizer import DecodingError, StabilizerCode
+from .steane import steane_code
+from .transfer import (
+    CodePoint,
+    TransferNetwork,
+    standard_points,
+    transfer_matrix,
+    transfer_time_s,
+)
+
+__all__ = [
+    "BACON_SHOR_SPEC",
+    "STEANE_SPEC",
+    "CliffordGate",
+    "CodePoint",
+    "CodeSpec",
+    "ConcatenatedCode",
+    "DecodingError",
+    "InjectionResult",
+    "MonteCarloResult",
+    "Pauli",
+    "StabilizerCode",
+    "SyndromeCost",
+    "Tableau",
+    "TransferNetwork",
+    "bacon_shor_encoder_injection",
+    "circuit_pseudo_threshold",
+    "inject_encoder_faults",
+    "steane_encoder_injection",
+    "bacon_shor_code",
+    "bacon_shor_concatenated",
+    "bacon_shor_syndrome_schedule",
+    "by_key",
+    "cnot",
+    "conjugate",
+    "enumerate_errors",
+    "h",
+    "l1_ec_cycles",
+    "l1_syndrome_cycles",
+    "logical_error_rate",
+    "pseudo_threshold",
+    "s",
+    "sdg",
+    "standard_points",
+    "steane_code",
+    "steane_concatenated",
+    "steane_syndrome_schedule",
+    "transfer_matrix",
+    "transfer_time_s",
+    "x",
+    "y",
+    "z",
+]

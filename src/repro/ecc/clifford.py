@@ -1,0 +1,193 @@
+"""Clifford-circuit conjugation of Pauli operators.
+
+Implements the Heisenberg picture: a Clifford circuit ``U`` transforms a
+stabilizer ``S`` of its input state into ``U S U^dag`` on its output.
+This is all that is needed to *verify* encoder circuits (the conjugated
+``Z_i`` generators of ``|0...0>`` must generate the code's stabilizer
+group together with the logical Z), and to propagate Pauli errors through
+EC circuitry.
+
+The Pauli convention matches :class:`repro.ecc.pauli.Pauli`: an operator
+is ``i^phase * prod_q X_q^x Z_q^z`` with qubit-major canonical ordering.
+In this convention CNOT conjugation introduces no phase, H contributes
+``(-1)^(xz)`` and S contributes ``i^x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .pauli import Pauli
+
+
+@dataclass(frozen=True)
+class CliffordGate:
+    """One Clifford gate: ``name`` in {H, S, SDG, X, Y, Z, CNOT}."""
+
+    name: str
+    qubits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        expected = 2 if self.name == "CNOT" else 1
+        if len(self.qubits) != expected:
+            raise ValueError(f"{self.name} takes {expected} qubit(s)")
+        if self.name == "CNOT" and self.qubits[0] == self.qubits[1]:
+            raise ValueError("CNOT control and target must differ")
+
+
+def h(q: int) -> CliffordGate:
+    return CliffordGate("H", (q,))
+
+
+def s(q: int) -> CliffordGate:
+    return CliffordGate("S", (q,))
+
+
+def sdg(q: int) -> CliffordGate:
+    return CliffordGate("SDG", (q,))
+
+
+def x(q: int) -> CliffordGate:
+    return CliffordGate("X", (q,))
+
+
+def y(q: int) -> CliffordGate:
+    return CliffordGate("Y", (q,))
+
+
+def z(q: int) -> CliffordGate:
+    return CliffordGate("Z", (q,))
+
+
+def cnot(c: int, t: int) -> CliffordGate:
+    return CliffordGate("CNOT", (c, t))
+
+
+def conjugate(pauli: Pauli, gates: Iterable[CliffordGate]) -> Pauli:
+    """Return ``U P U^dag`` for the circuit ``U`` given gate by gate.
+
+    Gates are applied in circuit order (the first gate acts first on the
+    state, hence innermost in the conjugation).
+    """
+    xs = list(pauli.x)
+    zs = list(pauli.z)
+    phase = pauli.phase
+    for gate in gates:
+        name = gate.name
+        if name == "H":
+            (q,) = gate.qubits
+            phase += 2 * xs[q] * zs[q]
+            xs[q], zs[q] = zs[q], xs[q]
+        elif name == "S":
+            (q,) = gate.qubits
+            phase += xs[q]
+            zs[q] ^= xs[q]
+        elif name == "SDG":
+            (q,) = gate.qubits
+            phase += 3 * xs[q]
+            zs[q] ^= xs[q]
+        elif name == "X":
+            (q,) = gate.qubits
+            phase += 2 * zs[q]
+        elif name == "Z":
+            (q,) = gate.qubits
+            phase += 2 * xs[q]
+        elif name == "Y":
+            (q,) = gate.qubits
+            phase += 2 * (xs[q] ^ zs[q])
+        elif name == "CNOT":
+            c, t = gate.qubits
+            xs[t] ^= xs[c]
+            zs[c] ^= zs[t]
+        else:
+            raise ValueError(f"unknown Clifford gate {name!r}")
+    return Pauli(x=tuple(xs), z=tuple(zs), phase=phase % 4)
+
+
+def gf2_solve(rows: np.ndarray, target: np.ndarray) -> List[int]:
+    """Solve ``sum_{i in I} rows[i] = target`` over GF(2).
+
+    Returns the list of selected row indices ``I`` or raises
+    ``ValueError`` when the target is outside the rowspan.
+    """
+    rows = np.asarray(rows, dtype=np.uint8) % 2
+    target = np.asarray(target, dtype=np.uint8) % 2
+    n_rows = rows.shape[0]
+    # Augment each row with an indicator block so the combination can be
+    # read off after elimination over the leading (symplectic) columns.
+    indicator = np.eye(n_rows, dtype=np.uint8)
+    work = np.hstack([rows.copy(), indicator])
+    n_cols = rows.shape[1]
+    aug, _ = _row_reduce_leading(work, n_cols)
+    residual = target.copy()
+    combo = np.zeros(n_rows, dtype=np.uint8)
+    for row in aug:
+        lead = _leading_index(row[:n_cols])
+        if lead is None:
+            continue
+        if residual[lead]:
+            residual ^= row[:n_cols]
+            combo ^= row[n_cols:]
+    if residual.any():
+        raise ValueError("target not in GF(2) rowspan")
+    return [i for i in range(n_rows) if combo[i]]
+
+
+def _row_reduce_leading(matrix: np.ndarray, n_cols: int) -> Tuple[np.ndarray, List[int]]:
+    """Row reduce over the first ``n_cols`` columns, carrying the rest."""
+    m = matrix.copy()
+    rows = m.shape[0]
+    pivots: List[int] = []
+    r = 0
+    for c in range(n_cols):
+        if r >= rows:
+            break
+        hits = np.nonzero(m[r:, c])[0]
+        if hits.size == 0:
+            continue
+        pr = r + int(hits[0])
+        if pr != r:
+            m[[r, pr]] = m[[pr, r]]
+        for other in range(rows):
+            if other != r and m[other, c]:
+                m[other] ^= m[r]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def _leading_index(row: np.ndarray):
+    nz = np.nonzero(row)[0]
+    return int(nz[0]) if nz.size else None
+
+
+def product_of(paulis: Sequence[Pauli], indices: Iterable[int]) -> Pauli:
+    """Multiply out ``paulis[i]`` for ``i`` in ``indices`` (left to right)."""
+    indices = list(indices)
+    if not paulis:
+        raise ValueError("need at least one Pauli for sizing")
+    acc = Pauli.identity(paulis[0].n)
+    for i in indices:
+        acc = acc * paulis[i]
+    return acc
+
+
+def stabilizer_group_contains(
+    generators: Sequence[Pauli], element: Pauli
+) -> bool:
+    """True iff ``element`` (with its sign) is generated by ``generators``.
+
+    Solves the symplectic part over GF(2), then multiplies the selected
+    generators and compares phases — so ``-S`` is *not* contained when
+    only ``+S`` is generated.
+    """
+    rows = np.vstack([g.symplectic() for g in generators])
+    try:
+        combo = gf2_solve(rows, element.symplectic())
+    except ValueError:
+        return False
+    produced = product_of(list(generators), combo)
+    return produced.phase == element.phase

@@ -1,0 +1,316 @@
+"""Concatenated-code resource, timing and reliability model (Table 2).
+
+Recursive error correction encodes ``n`` physical qubits per logical
+qubit at each level: a level-L qubit is built from ``n`` level-(L-1)
+qubits plus ancilla blocks.  Resources and EC time grow exponentially
+with the level while the per-operation failure probability falls doubly
+exponentially — the trade the CQLA's memory hierarchy exploits.
+
+This module combines
+
+* the algebraic codes (:mod:`repro.ecc.steane`, :mod:`repro.ecc.bacon_shor`),
+* the measured level-1 EC schedules (:mod:`repro.ecc.schedule`), and
+* tile geometry (:mod:`repro.physical.layout`)
+
+into a :class:`ConcatenatedCode` exposing EC time, transversal-gate
+time, qubit tile area, ion counts and per-operation failure rate at any
+recursion level — the exact quantities of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+from ..physical.layout import TileGeometry
+from ..physical.params import CYCLE_TIME_US, DEFAULT_PARAMS, Op, PhysicalParams
+from . import schedule
+from .bacon_shor import bacon_shor_code
+from .stabilizer import StabilizerCode
+from .steane import steane_code
+
+#: Average teleportation distance between level-1 blocks, in cells, used
+#: in the Gottesman local fault-tolerance estimate (Section 5.2, r = 12).
+GOTTESMAN_R = 12.0
+
+
+@dataclass(frozen=True)
+class CodeSpec:
+    """Architectural constants of one error-correcting code.
+
+    ``channel_fraction`` and ``l2_assembly_overhead`` are the two
+    documented geometry calibration constants (DESIGN.md Section 4):
+    open movement regions per ion region inside a level-1 tile, and the
+    inter-tile channel overhead when assembling level-2 qubits.  They are
+    chosen once so the published Steane level-2 qubit area (3.4 mm^2) and
+    Bacon-Shor level-2 area (2.4 mm^2) are matched; every other area in
+    the study then follows from geometry.
+    """
+
+    key: str
+    display_name: str
+    n: int
+    encoder_gate_count: int
+    l1_ancilla_ions: int
+    l2_ancilla_blocks: int
+    channel_fraction: float
+    threshold: float
+    teleport_channels: int
+    needs_ancilla_verification: bool
+    l2_assembly_overhead: float = 0.10
+
+    def upper_ops_per_syndrome(self) -> int:
+        """Serialized level-(L-1) operations per level-L syndrome.
+
+        Every sub-operation of a level-L EC is itself followed by a
+        level-(L-1) error correction (Section 4.1), so the level-L EC
+        time is this count times the lower-level EC period.
+
+        * Encoded-ancilla (Steane-style) extraction: the ancilla block is
+          encoded (``encoder_gate_count`` gates, EC on both participants
+          of each CNOT), interacts transversally (``n`` sub-CNOTs, EC on
+          both blocks), plus alignment, transversal measurement, decode
+          and correction slots.
+        * Gauge-measurement (Bacon-Shor-style) extraction: six two-qubit
+          gauge measurements, each one ancilla preparation, two CNOTs
+          with EC on both participants, and a measurement slot; plus
+          decode and correction.
+        """
+        if self.needs_ancilla_verification:
+            encode = 2 * self.encoder_gate_count
+            interact = 2 * self.n
+            overhead = 4 + 2 + 2 + 2  # align, measure, decode, correct
+            return encode + interact + overhead
+        gauge_measurements = 6
+        per_gauge = 1 + 2 * 2 + 1  # prep + two CNOTs (EC both sides) + measure
+        return gauge_measurements * per_gauge + 2 + 2
+
+
+STEANE_SPEC = CodeSpec(
+    key="steane",
+    display_name="Steane [[7,1,3]]",
+    n=7,
+    encoder_gate_count=12,
+    # 7 bit-flip syndrome + 7 phase-flip syndrome + 7 verification ions
+    # (Table 2 lists 21 level-1 ancilla).
+    l1_ancilla_ions=21,
+    # A level-2 qubit is 7 level-1 data qubits + 7 level-1 ancilla
+    # qubits; no verification ancilla are needed at level 2 (Section 4.1).
+    l2_ancilla_blocks=7,
+    channel_fraction=2.15,
+    # Threshold for the [[7,1,3]] circuit accounting for movement and
+    # gates, from Svore/Terhal/DiVincenzo as cited in Section 5.2.
+    threshold=7.5e-5,
+    teleport_channels=1,
+    needs_ancilla_verification=True,
+)
+
+BACON_SHOR_SPEC = CodeSpec(
+    key="bacon_shor",
+    display_name="Bacon-Shor [[9,1,3]]",
+    n=9,
+    encoder_gate_count=12,
+    # One bare ancilla ion per two-qubit gauge operator: 6 X-type + 6
+    # Z-type (Table 2 lists 12 level-1 ancilla).
+    l1_ancilla_ions=12,
+    # A level-2 qubit is 9 level-1 data qubits + 9 level-1 gauge-ancilla
+    # qubits (paper's count of 298 ancilla ions vs. our 297 differs by a
+    # single verification ion; see EXPERIMENTS.md).
+    l2_ancilla_blocks=9,
+    channel_fraction=1.31,
+    # The paper notes the Bacon-Shor results "are more favourable due to
+    # a higher threshold"; we adopt 1.5e-4 (documented assumption, cf.
+    # the later Aliferis-Cross analysis of the [[9,1,3]] code).
+    threshold=1.5e-4,
+    # Section 5.1: overlapping communication with computation requires
+    # three channels for the Bacon-Shor code versus one for Steane.
+    teleport_channels=3,
+    needs_ancilla_verification=False,
+)
+
+_SPECS = {spec.key: spec for spec in (STEANE_SPEC, BACON_SHOR_SPEC)}
+
+
+def spec_by_key(key: str) -> CodeSpec:
+    try:
+        return _SPECS[key]
+    except KeyError as exc:
+        raise ValueError(f"unknown code key {key!r}") from exc
+
+
+class ConcatenatedCode:
+    """Timing/area/reliability of a recursively encoded logical qubit."""
+
+    def __init__(
+        self,
+        spec: CodeSpec,
+        params: PhysicalParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.spec = spec
+        self.params = params
+
+    # -- construction helpers ------------------------------------------
+    @staticmethod
+    def steane(params: PhysicalParams = DEFAULT_PARAMS) -> "ConcatenatedCode":
+        return ConcatenatedCode(STEANE_SPEC, params)
+
+    @staticmethod
+    def bacon_shor(params: PhysicalParams = DEFAULT_PARAMS) -> "ConcatenatedCode":
+        return ConcatenatedCode(BACON_SHOR_SPEC, params)
+
+    def algebraic_code(self) -> StabilizerCode:
+        """The underlying [[n,1,3]] code object."""
+        if self.spec.key == "steane":
+            return steane_code()
+        return bacon_shor_code()
+
+    # -- ion counting ---------------------------------------------------
+    def total_ions(self, level: int) -> int:
+        """All physical ions in one level-``level`` logical qubit."""
+        self._check_level(level)
+        if level == 0:
+            return 1
+        total = self.spec.n + self.spec.l1_ancilla_ions
+        for _ in range(level - 1):
+            total *= self.spec.n + self.spec.l2_ancilla_blocks
+        return total
+
+    def data_ions(self, level: int) -> int:
+        """Physical ions carrying encoded data: ``n**level``."""
+        self._check_level(level)
+        return self.spec.n ** level
+
+    def ancilla_ions(self, level: int) -> int:
+        return self.total_ions(level) - self.data_ions(level)
+
+    def logical_block_counts(self, level: int) -> Tuple[int, int]:
+        """(data sub-blocks, ancilla sub-blocks) of a level-L qubit."""
+        self._check_level(level)
+        if level == 1:
+            return self.spec.n, self.spec.l1_ancilla_ions
+        return self.spec.n, self.spec.l2_ancilla_blocks
+
+    # -- geometry ---------------------------------------------------------
+    def tile_geometry(self) -> TileGeometry:
+        """Geometry of the level-1 tile (ions + movement channels)."""
+        return TileGeometry(
+            n_ions=self.total_ions(1),
+            channel_fraction=self.spec.channel_fraction,
+        )
+
+    def qubit_area_mm2(self, level: int) -> float:
+        """Area of one level-``level`` logical qubit tile in mm^2."""
+        self._check_level(level)
+        if level == 0:
+            return self.params.region_area_um2 / 1.0e6
+        area = self.tile_geometry().area_mm2(self.params)
+        blocks = self.spec.n + self.spec.l2_ancilla_blocks
+        for _ in range(level - 1):
+            area *= blocks * (1.0 + self.spec.l2_assembly_overhead)
+        return area
+
+    # -- timing ---------------------------------------------------------
+    def l1_syndrome_cycles(self) -> int:
+        return schedule.l1_syndrome_cycles(self.spec.key)
+
+    def ec_time_s(self, level: int) -> float:
+        """Duration of one full error correction at ``level`` (seconds)."""
+        self._check_level(level)
+        if level == 0:
+            return 0.0
+        cycle_s = CYCLE_TIME_US / 1.0e6
+        if level == 1:
+            return 2 * self.l1_syndrome_cycles() * cycle_s
+        lower = self.ec_time_s(level - 1)
+        # Each serialized sub-operation is a transversal gate at the
+        # lower level followed by a lower-level EC; the raw gate time
+        # (a handful of fundamental cycles) is small but included.
+        raw_gate = self.raw_transversal_cycles() * cycle_s
+        ops = 2 * self.spec.upper_ops_per_syndrome()
+        return ops * (lower + raw_gate)
+
+    def raw_transversal_cycles(self) -> int:
+        """Fundamental cycles of one transversal gate without EC.
+
+        Sub-block alignment movement (a few hops) plus the laser pulse.
+        """
+        return 4 + self.params.cycles(Op.DOUBLE_GATE)
+
+    def transversal_gate_time_s(self, level: int) -> float:
+        """Logical gate duration: EC before and after plus the pulse."""
+        self._check_level(level)
+        cycle_s = CYCLE_TIME_US / 1.0e6
+        raw = self.raw_transversal_cycles() * cycle_s
+        return 2 * self.ec_time_s(level) + raw
+
+    def logical_op_time_s(self, level: int) -> float:
+        """Steady-state per-gate period: one EC amortized per gate.
+
+        In a gate sequence each EC is shared between the gate it follows
+        and the gate it precedes, so the sustained rate is one EC plus
+        one pulse per logical gate.
+        """
+        cycle_s = CYCLE_TIME_US / 1.0e6
+        return self.ec_time_s(level) + self.raw_transversal_cycles() * cycle_s
+
+    # -- reliability ------------------------------------------------------
+    def failure_rate(self, level: int, p0: float = None) -> float:
+        """Gottesman local fault-tolerance estimate (Equation 1).
+
+        ``Pf = (pth / r**L) * (p0 / pth) ** (2**L)``, with ``r`` the mean
+        communication distance between level-1 blocks (12 cells) and
+        ``p0`` defaulting to the average component failure rate of the
+        technology point.
+        """
+        self._check_level(level)
+        if p0 is None:
+            p0 = self.params.average_failure_rate()
+        if level == 0:
+            return p0
+        pth = self.spec.threshold
+        return (pth / GOTTESMAN_R ** level) * (p0 / pth) ** (2 ** level)
+
+    def min_level_for(self, error_budget_per_op: float) -> int:
+        """Smallest recursion level meeting a per-operation error budget."""
+        if not 0 < error_budget_per_op < 1:
+            raise ValueError("budget must be a probability in (0, 1)")
+        for level in range(0, 8):
+            if self.failure_rate(level) <= error_budget_per_op:
+                return level
+        raise ValueError(
+            "no recursion level up to 7 meets the budget; the technology "
+            "point is below threshold"
+        )
+
+    # -- misc -------------------------------------------------------------
+    @staticmethod
+    def _check_level(level: int) -> None:
+        if level < 0:
+            raise ValueError("recursion level cannot be negative")
+        if level > 8:
+            raise ValueError("recursion level above 8 is not modeled")
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"ConcatenatedCode({self.spec.display_name})"
+
+
+@lru_cache(maxsize=None)
+def steane_concatenated() -> ConcatenatedCode:
+    """Shared Steane instance at the default technology point."""
+    return ConcatenatedCode.steane()
+
+
+@lru_cache(maxsize=None)
+def bacon_shor_concatenated() -> ConcatenatedCode:
+    """Shared Bacon-Shor instance at the default technology point."""
+    return ConcatenatedCode.bacon_shor()
+
+
+def by_key(key: str) -> ConcatenatedCode:
+    if key == "steane":
+        return steane_concatenated()
+    if key == "bacon_shor":
+        return bacon_shor_concatenated()
+    raise ValueError(f"unknown code key {key!r}")

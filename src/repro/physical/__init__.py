@@ -1,0 +1,50 @@
+"""Ion-trap physical substrate: parameters, layout and micro-execution."""
+
+from .control import (
+    ControlBudget,
+    control_budget,
+    control_reduction,
+    qla_control_budget,
+)
+from .layout import Coord, GridSpec, TileGeometry, manhattan, near_square_grid, route
+from .machine import (
+    ContentionError,
+    ExecutionResult,
+    MicroOp,
+    TrapMachine,
+    interaction_cost_cycles,
+)
+from .params import (
+    CYCLE_TIME_US,
+    DEFAULT_PARAMS,
+    Op,
+    OpParams,
+    PhysicalParams,
+    future_params,
+    now_params,
+)
+
+__all__ = [
+    "CYCLE_TIME_US",
+    "DEFAULT_PARAMS",
+    "ContentionError",
+    "ControlBudget",
+    "Coord",
+    "control_budget",
+    "control_reduction",
+    "qla_control_budget",
+    "ExecutionResult",
+    "GridSpec",
+    "MicroOp",
+    "Op",
+    "OpParams",
+    "PhysicalParams",
+    "TileGeometry",
+    "TrapMachine",
+    "future_params",
+    "interaction_cost_cycles",
+    "manhattan",
+    "near_square_grid",
+    "now_params",
+    "route",
+]

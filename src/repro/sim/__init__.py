@@ -1,0 +1,59 @@
+"""Simulators: block scheduling, caching, hierarchy timing, traffic."""
+
+from .cache import (
+    CacheStats,
+    HitRatePoint,
+    LruCache,
+    OptimizedFetchResult,
+    hit_rate_study,
+    simulate_in_order,
+    simulate_optimized,
+)
+from .comm import (
+    CommBreakdown,
+    adder_transfer_count,
+    modexp_breakdown,
+    qft_breakdown,
+    superblock_bandwidth_per_period,
+)
+from .hierarchy_sim import (
+    DEFAULT_COMPUTE_QUBITS,
+    HierarchyRunResult,
+    l1_speedup,
+    simulate_l1_run,
+)
+from .scheduler import (
+    ScheduleResult,
+    adder_critical_slots,
+    adder_makespan_slots,
+    adder_schedule,
+    adder_utilization,
+    list_schedule,
+    parallelism_profiles,
+)
+
+__all__ = [
+    "CacheStats",
+    "CommBreakdown",
+    "DEFAULT_COMPUTE_QUBITS",
+    "HierarchyRunResult",
+    "HitRatePoint",
+    "LruCache",
+    "OptimizedFetchResult",
+    "ScheduleResult",
+    "adder_critical_slots",
+    "adder_makespan_slots",
+    "adder_schedule",
+    "adder_transfer_count",
+    "adder_utilization",
+    "hit_rate_study",
+    "l1_speedup",
+    "list_schedule",
+    "modexp_breakdown",
+    "parallelism_profiles",
+    "qft_breakdown",
+    "simulate_in_order",
+    "simulate_l1_run",
+    "simulate_optimized",
+    "superblock_bandwidth_per_period",
+]

@@ -1,0 +1,134 @@
+"""Computation-vs-communication accounting (Section 6, Figure 8).
+
+Totals the logical computation time and logical communication time of
+the two components of Shor's algorithm on a CQLA instance:
+
+* **Modular exponentiation** (Figure 8a): Toffoli-dominated.  Each
+  fault-tolerant Toffoli moves nine logical qubits (operands, ancilla,
+  cat-state) in and out of compute superblocks while occupying fifteen
+  gate-EC periods; communication flows through the aggregate superblock
+  perimeter bandwidth and is therefore significant but subordinate.
+* **QFT** (Figure 8b): all-to-all personalized communication with cheap
+  (one- and two-qubit) gates, so communication closely tracks
+  computation.
+
+Both use the Section 6 observation that a communication step costs about
+one gate period (teleportation latency ~ one EC).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.bandwidth import (
+    EDGE_CHANNELS,
+    TRANSFERS_PER_CHANNEL_PER_PERIOD,
+    optimal_superblock_size,
+)
+from ..arch.interconnect import teleport_time_by_key
+from ..circuits.gates import GateKind, TOFFOLI_TRAFFIC_QUBITS
+from ..circuits.modexp import serial_adder_depth
+from ..ecc.concatenated import by_key
+from .scheduler import _adder_circuit, adder_makespan_slots
+
+#: Exposed teleport hops per QFT controlled-phase pair: one hop brings
+#: the control to the target's superblock; the return overlaps the next
+#: gate's execution and exposes only half its latency.
+QFT_HOPS_PER_PAIR = 1.5
+
+#: Gate-EC slots charged per controlled-phase gate (two CNOT layers;
+#: the single-qubit rotations fold into the EC periods).
+CPHASE_SLOTS = 2
+
+
+@dataclass(frozen=True)
+class CommBreakdown:
+    """Computation/communication totals for one workload instance."""
+
+    workload: str
+    n_bits: int
+    code_key: str
+    computation_s: float
+    communication_s: float
+
+    @property
+    def ratio(self) -> float:
+        """Communication over computation."""
+        if self.computation_s == 0:
+            return math.inf
+        return self.communication_s / self.computation_s
+
+    @property
+    def computation_hours(self) -> float:
+        return self.computation_s / 3600.0
+
+    @property
+    def communication_hours(self) -> float:
+        return self.communication_s / 3600.0
+
+
+def adder_transfer_count(n_bits: int) -> int:
+    """Logical-qubit movements per addition.
+
+    Nine qubits round-trip per Toffoli plus one operand hop per
+    remaining two-qubit gate.
+    """
+    circuit = _adder_circuit(n_bits, False)
+    toffolis = circuit.toffoli_count
+    others = sum(
+        1 for g in circuit.gates
+        if g.kind is not GateKind.TOFFOLI and g.kind.n_qubits >= 2
+    )
+    return 2 * TOFFOLI_TRAFFIC_QUBITS * toffolis + others
+
+
+def superblock_bandwidth_per_period(n_blocks: int) -> float:
+    """Aggregate perimeter transfers per EC period of all superblocks."""
+    size = optimal_superblock_size()
+    n_super = max(1, math.ceil(n_blocks / size))
+    per_super = 4.0 * math.sqrt(min(size, n_blocks)) * EDGE_CHANNELS
+    return n_super * per_super * TRANSFERS_PER_CHANNEL_PER_PERIOD
+
+
+def modexp_breakdown(
+    code_key: str,
+    n_bits: int,
+    n_blocks: int,
+    level: int = 2,
+) -> CommBreakdown:
+    """Figure 8a point: modular exponentiation on a CQLA instance."""
+    code = by_key(code_key)
+    op_s = code.logical_op_time_s(level)
+    adders = serial_adder_depth(n_bits)
+    adder_slots = adder_makespan_slots(n_bits, n_blocks)
+    computation = adders * adder_slots * op_s
+
+    transfers_per_adder = adder_transfer_count(n_bits)
+    bandwidth = superblock_bandwidth_per_period(n_blocks)
+    comm_periods_per_adder = transfers_per_adder / bandwidth
+    communication = adders * comm_periods_per_adder * op_s
+    return CommBreakdown(
+        workload="modexp",
+        n_bits=n_bits,
+        code_key=code_key,
+        computation_s=computation,
+        communication_s=communication,
+    )
+
+
+def qft_breakdown(code_key: str, n_bits: int, level: int = 2) -> CommBreakdown:
+    """Figure 8b point: the QFT over an ``n_bits`` register."""
+    code = by_key(code_key)
+    op_s = code.logical_op_time_s(level)
+    hop_s = teleport_time_by_key(code_key, level)
+    pairs = n_bits * (n_bits - 1) // 2
+    computation = (pairs * CPHASE_SLOTS + n_bits) * op_s
+    communication = pairs * QFT_HOPS_PER_PAIR * hop_s
+    return CommBreakdown(
+        workload="qft",
+        n_bits=n_bits,
+        code_key=code_key,
+        computation_s=computation,
+        communication_s=communication,
+    )

@@ -1,0 +1,112 @@
+"""Tests for the table/figure builders and the report renderer."""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig2,
+    fig2_text,
+    fig6a,
+    fig6a_text,
+    fig6b,
+    fig6b_text,
+    fig7,
+    fig7_text,
+    fig8a,
+    fig8a_text,
+    fig8b,
+    fig8b_text,
+)
+from repro.analysis.report import format_series, format_table
+from repro.analysis.tables import (
+    table1,
+    table1_text,
+    table2,
+    table2_text,
+    table3,
+    table3_text,
+)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("x", {"y": [1, 2]}, [10, 20])
+        assert "10" in text and "20" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000012], [1234567.0], [0.5]])
+        assert "1.2e-05" in text
+        assert "0.5" in text
+
+
+class TestTables:
+    def test_table1_covers_all_ops(self):
+        rows = table1()
+        assert len(rows) == 6
+        names = {r[0] for r in rows}
+        assert "double_gate" in names
+
+    def test_table1_text(self):
+        assert "Table 1" in table1_text()
+
+    def test_table2_rows(self):
+        rows = table2()
+        assert len(rows) == 4
+        keys = {(r.code_key, r.level) for r in rows}
+        assert ("bacon_shor", 2) in keys
+
+    def test_table2_text_contains_paper_columns(self):
+        text = table2_text()
+        assert "paper" in text and "steane-L1" in text
+
+    def test_table3_matrix(self):
+        matrix = table3()
+        assert matrix[("7-L1", "7-L1")] == 0.0
+        assert len(matrix) == 16
+
+    def test_table3_text(self):
+        assert "Table 3" in table3_text()
+
+
+class TestFigures:
+    def test_fig2_series(self):
+        data = fig2(32, 9)
+        assert sum(data["unlimited"]) == sum(data["capped"])
+        assert "Figure 2" in fig2_text(32, 9)
+
+    def test_fig6a_monotone_decreasing(self):
+        series = fig6a(sizes=(64,), block_counts=(4, 36, 196))
+        vals = series[64]
+        assert vals[0] >= vals[1] >= vals[2]
+        assert "Figure 6a" in fig6a_text()
+
+    def test_fig6b_crossover(self):
+        data = fig6b(block_counts=(16, 36, 64))
+        assert data["crossover"] == 36
+        assert "36" in fig6b_text()
+
+    def test_fig7_points(self):
+        points = fig7(sizes=(16,), compute_qubits=20)
+        assert len(points) == 6  # 3 cache sizes x 2 policies
+        assert "Figure 7" in fig7_text(sizes=(16,))
+
+    def test_fig8a_series(self):
+        series = fig8a(sizes=(32, 64))
+        assert len(series) == 2
+        assert series[1].computation_s > series[0].computation_s
+        assert "Figure 8a" in fig8a_text()
+
+    def test_fig8b_series(self):
+        series = fig8b(sizes=(100, 200))
+        assert series[1].communication_s > series[0].communication_s
+        assert "Figure 8b" in fig8b_text()

@@ -1,0 +1,219 @@
+"""Tests for tiles, regions, QLA baseline, interconnect and bandwidth."""
+
+import pytest
+
+from repro.arch.bandwidth import (
+    bandwidth_available,
+    bandwidth_required,
+    draper_demand_per_block,
+    optimal_superblock_size,
+    sweep,
+    worst_case_demand_per_block,
+)
+from repro.arch.interconnect import (
+    MeshAllToAll,
+    TeleportChannel,
+    logical_teleport_time_s,
+    teleport_time_by_key,
+)
+from repro.arch.qla import QlaMachine
+from repro.arch.regions import (
+    CacheRegion,
+    ComputeRegion,
+    CqlaFloorplan,
+    MemoryRegion,
+)
+from repro.arch.tile import (
+    cache_site_mm2,
+    compute_block_mm2,
+    memory_site_mm2,
+    qla_site_mm2,
+    site_areas,
+)
+from repro.ecc.concatenated import bacon_shor_concatenated, steane_concatenated
+
+
+class TestTileAreas:
+    def test_qla_site_dwarfs_memory_site(self):
+        st = steane_concatenated()
+        assert qla_site_mm2() > 5 * memory_site_mm2(st)
+
+    def test_memory_site_near_tile_size(self):
+        st = steane_concatenated()
+        site = memory_site_mm2(st)
+        tile = st.qubit_area_mm2(2)
+        assert tile < site < 2 * tile
+
+    def test_compute_block_is_27_sites_doubled(self):
+        st = steane_concatenated()
+        assert compute_block_mm2(st) == pytest.approx(
+            27 * st.qubit_area_mm2(2) * 2.0
+        )
+
+    def test_bacon_shor_denser_everywhere(self):
+        st, bs = steane_concatenated(), bacon_shor_concatenated()
+        assert memory_site_mm2(bs) < memory_site_mm2(st)
+        assert compute_block_mm2(bs) < compute_block_mm2(st)
+
+    def test_cache_site_uses_level_one(self):
+        st = steane_concatenated()
+        assert cache_site_mm2(st, 1) < memory_site_mm2(st, 2)
+
+    def test_site_areas_bundle(self):
+        areas = site_areas("steane")
+        assert areas.qla_site_mm2 == pytest.approx(qla_site_mm2())
+        assert areas.code_key == "steane"
+
+
+class TestRegions:
+    def test_memory_ancilla_sharing(self):
+        m = MemoryRegion("steane", data_qubits=16)
+        assert m.ancilla_qubits == 2
+        assert m.logical_qubits == 18
+
+    def test_memory_ancilla_rounds_up(self):
+        m = MemoryRegion("steane", data_qubits=17)
+        assert m.ancilla_qubits == 3
+
+    def test_memory_wait_budget_far_exceeds_ec(self):
+        m = MemoryRegion("steane", data_qubits=8)
+        ec = steane_concatenated().ec_time_s(2)
+        assert m.ec_wait_budget_s() > 3 * ec
+
+    def test_compute_region_counts(self):
+        c = ComputeRegion("steane", n_blocks=4)
+        assert c.data_qubits == 36
+        assert c.ancilla_qubits == 72
+        assert c.logical_qubits == 108
+
+    def test_compute_superblocks(self):
+        assert ComputeRegion("steane", 36).superblocks() == 1
+        assert ComputeRegion("steane", 37).superblocks() == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("steane", 0)
+        with pytest.raises(ValueError):
+            ComputeRegion("steane", 0)
+        with pytest.raises(ValueError):
+            CacheRegion("steane", 0)
+
+
+class TestFloorplan:
+    def test_total_is_sum_of_regions(self):
+        plan = CqlaFloorplan("steane", memory_qubits=160, l2_blocks=4)
+        expected = plan.memory.area_mm2() + plan.l2_compute.area_mm2()
+        assert plan.area_mm2() == pytest.approx(expected)
+
+    def test_hierarchy_adds_cache_and_transfer(self):
+        base = CqlaFloorplan("steane", memory_qubits=160, l2_blocks=4)
+        full = CqlaFloorplan(
+            "steane", memory_qubits=160, l2_blocks=4, l1_blocks=9
+        )
+        assert full.area_mm2() > base.area_mm2()
+        assert full.cache is not None
+        assert full.cache.capacity == 162  # 2 x 81 qubits
+        assert full.transfer_network is not None
+
+    def test_no_hierarchy_means_no_cache(self):
+        plan = CqlaFloorplan("steane", memory_qubits=160, l2_blocks=4)
+        assert plan.cache is None
+        assert plan.l1_compute is None
+        assert plan.transfer_area_mm2() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CqlaFloorplan("steane", memory_qubits=0, l2_blocks=4)
+        with pytest.raises(ValueError):
+            CqlaFloorplan("steane", memory_qubits=8, l2_blocks=0)
+        with pytest.raises(ValueError):
+            CqlaFloorplan("steane", memory_qubits=8, l2_blocks=1,
+                          cache_factor=0.0)
+
+
+class TestQla:
+    def test_1024_bit_machine_is_tenths_of_square_meter(self):
+        qla = QlaMachine(1024)
+        assert 0.1 < qla.area_m2() < 1.0
+
+    def test_logical_qubits(self):
+        assert QlaMachine(1024).logical_qubits == 5120
+
+    def test_adder_time_uses_critical_path(self):
+        qla = QlaMachine(64)
+        assert qla.adder_time_s() > 0
+        assert qla.modexp_time_s() > 1000 * qla.adder_time_s()
+
+    def test_gain_product_unity(self):
+        assert QlaMachine(64).gain_product() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QlaMachine(1)
+
+
+class TestBandwidth:
+    def test_crossover_at_36(self):
+        assert optimal_superblock_size() == 36
+
+    def test_available_vs_required_crossing(self):
+        below = bandwidth_available(25) - bandwidth_required(25)
+        above = bandwidth_available(49) - bandwidth_required(49)
+        assert below > 0 > above
+
+    def test_worst_case_demand_higher(self):
+        assert worst_case_demand_per_block() > draper_demand_per_block()
+
+    def test_sweep_points(self):
+        points = sweep([4, 36, 64])
+        assert len(points) == 3
+        assert points[1].n_blocks == 36
+        assert points[1].available == pytest.approx(
+            points[1].required_draper, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_available(0)
+        with pytest.raises(ValueError):
+            bandwidth_required(0)
+
+
+class TestInterconnect:
+    def test_teleport_time_about_one_ec(self):
+        for key in ("steane", "bacon_shor"):
+            code = (steane_concatenated() if key == "steane"
+                    else bacon_shor_concatenated())
+            hop = teleport_time_by_key(key, 2)
+            ec = code.ec_time_s(2)
+            assert ec < hop < 1.2 * ec
+
+    def test_teleport_grows_with_data_ions(self):
+        st = logical_teleport_time_s(steane_concatenated(), 2)
+        bs = logical_teleport_time_s(bacon_shor_concatenated(), 2)
+        # Bacon-Shor has more data ions but much faster EC.
+        assert bs < st
+
+    def test_mesh_all_to_all(self):
+        mesh = MeshAllToAll(nodes=16, qubits_per_node=9)
+        assert mesh.side == 4
+        assert mesh.total_messages == 16 * 15 * 9
+        assert mesh.schedule_phases() > 0
+        assert mesh.exchange_time_s(0.1) == pytest.approx(
+            0.1 * mesh.schedule_phases()
+        )
+
+    def test_mesh_validation(self):
+        with pytest.raises(ValueError):
+            MeshAllToAll(nodes=0, qubits_per_node=1)
+        with pytest.raises(ValueError):
+            MeshAllToAll(nodes=4, qubits_per_node=1).exchange_time_s(0.0)
+
+    def test_channel_batching(self):
+        ch = TeleportChannel("steane", 2)
+        assert ch.batch_time_s(0) == 0.0
+        assert ch.batch_time_s(4, lanes=2) == pytest.approx(2 * ch.hop_time_s)
+        with pytest.raises(ValueError):
+            ch.batch_time_s(-1)
+        with pytest.raises(ValueError):
+            ch.batch_time_s(1, lanes=0)

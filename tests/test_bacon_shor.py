@@ -1,0 +1,112 @@
+"""Tests for the Bacon-Shor [[9,1,3]] subsystem code."""
+
+import pytest
+
+from repro.ecc.bacon_shor import (
+    bacon_shor_code,
+    encoder_circuit,
+    x_gauge_pairs,
+    z_gauge_pairs,
+)
+from repro.ecc.clifford import conjugate, stabilizer_group_contains
+from repro.ecc.pauli import Pauli, enumerate_errors
+
+
+@pytest.fixture(scope="module")
+def code():
+    return bacon_shor_code()
+
+
+class TestStructure:
+    def test_parameters(self, code):
+        assert (code.n, code.k, code.d) == (9, 1, 3)
+        assert len(code.stabilizers) == 4
+        assert len(code.gauge_ops) == 12
+
+    def test_gauge_pairs_are_nearest_neighbor(self):
+        for q1, q2 in x_gauge_pairs():
+            assert q2 - q1 == 3  # vertical neighbor on the 3x3 grid
+        for q1, q2 in z_gauge_pairs():
+            assert q2 - q1 == 1  # horizontal neighbor
+            assert q1 % 3 != 2   # no wraparound pairs
+
+    def test_stabilizers_weight_six(self, code):
+        assert all(s.weight == 6 for s in code.stabilizers)
+
+    def test_gauge_ops_weight_two(self, code):
+        assert all(g.weight == 2 for g in code.gauge_ops)
+
+    def test_stabilizers_inside_gauge_group(self, code):
+        # Every stabilizer is a product of two-qubit gauge operators.
+        for stab in code.stabilizers:
+            assert code.is_trivial(stab)
+
+    def test_gauge_ops_commute_with_stabilizers(self, code):
+        for g in code.gauge_ops:
+            for s in code.stabilizers:
+                assert g.commutes_with(s)
+
+    def test_logicals_commute_with_gauge(self, code):
+        for g in code.gauge_ops:
+            assert code.logical_xs[0].commutes_with(g)
+            assert code.logical_zs[0].commutes_with(g)
+
+
+class TestCorrection:
+    def test_all_single_errors_corrected(self, code):
+        for error in enumerate_errors(9, 1):
+            residual, ok = code.correct(error)
+            assert ok, f"failed to correct {error.label()}"
+
+    def test_corrections_are_gauge_equivalent_not_exact(self, code):
+        # An X error in row 2 shares its syndrome with row 0 of the same
+        # column; the residual is a gauge element, not identity.
+        error = Pauli.single(9, 6, "X")  # row 2, column 0
+        residual, ok = code.correct(error)
+        assert ok
+        assert not residual.is_identity()
+        assert code.is_trivial(residual)
+
+    def test_x_syndrome_identifies_column(self, code):
+        # X errors anywhere in one column share a syndrome.
+        for col in range(3):
+            syndromes = {
+                code.syndrome(Pauli.single(9, 3 * row + col, "X"))
+                for row in range(3)
+            }
+            assert len(syndromes) == 1
+
+    def test_z_syndrome_identifies_row(self, code):
+        for row in range(3):
+            syndromes = {
+                code.syndrome(Pauli.single(9, 3 * row + col, "Z"))
+                for col in range(3)
+            }
+            assert len(syndromes) == 1
+
+
+class TestEncoder:
+    def test_gate_budget(self):
+        gates = encoder_circuit()
+        assert len(gates) == 12
+        names = [g.name for g in gates]
+        assert names.count("H") == 6
+        assert names.count("CNOT") == 6
+
+    def test_encoder_prepares_gauge_fixed_logical_zero(self, code):
+        gates = encoder_circuit()
+        conjugated = [
+            conjugate(Pauli.single(9, q, "Z"), gates) for q in range(9)
+        ]
+        for stab in code.stabilizers:
+            assert stabilizer_group_contains(conjugated, stab), (
+                f"missing stabilizer {stab.label()}"
+            )
+        assert stabilizer_group_contains(conjugated, code.logical_zs[0])
+
+    def test_encoder_not_logical_plus(self, code):
+        gates = encoder_circuit()
+        conjugated = [
+            conjugate(Pauli.single(9, q, "Z"), gates) for q in range(9)
+        ]
+        assert not stabilizer_group_contains(conjugated, code.logical_xs[0])

@@ -1,0 +1,110 @@
+"""Unit tests for the circuit container and classical simulation."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import (
+    GateKind,
+    cnot_gate,
+    h_gate,
+    toffoli_gate,
+    x_gate,
+)
+
+
+class TestConstruction:
+    def test_bounds_checked_on_append(self):
+        c = Circuit(n_qubits=2)
+        with pytest.raises(ValueError):
+            c.append(x_gate(2))
+
+    def test_bounds_checked_on_init(self):
+        with pytest.raises(ValueError):
+            Circuit(n_qubits=1, gates=[cnot_gate(0, 1)])
+
+    def test_needs_a_qubit(self):
+        with pytest.raises(ValueError):
+            Circuit(n_qubits=0)
+
+    def test_extend_and_len(self):
+        c = Circuit(n_qubits=3)
+        c.extend([x_gate(0), cnot_gate(0, 1)])
+        assert len(c) == 2
+        assert [g.kind for g in c] == [GateKind.X, GateKind.CNOT]
+
+
+class TestStatistics:
+    def test_counts(self):
+        c = Circuit(n_qubits=3, gates=[
+            x_gate(0), cnot_gate(0, 1), toffoli_gate(0, 1, 2), x_gate(1),
+        ])
+        assert c.count(GateKind.X) == 2
+        assert c.toffoli_count == 1
+        assert c.gate_counts()[GateKind.CNOT] == 1
+
+    def test_total_ec_slots(self):
+        c = Circuit(n_qubits=3, gates=[toffoli_gate(0, 1, 2), x_gate(0)])
+        assert c.total_ec_slots() == 16
+
+    def test_touched_qubits(self):
+        c = Circuit(n_qubits=5, gates=[cnot_gate(1, 3)])
+        assert c.touched_qubits() == [1, 3]
+
+    def test_is_classical(self):
+        classical = Circuit(n_qubits=2, gates=[cnot_gate(0, 1)])
+        quantum = Circuit(n_qubits=2, gates=[h_gate(0)])
+        assert classical.is_classical()
+        assert not quantum.is_classical()
+
+
+class TestClassicalSimulation:
+    def test_x_flips(self):
+        c = Circuit(n_qubits=1, gates=[x_gate(0)])
+        assert c.simulate_classical([0]) == [1]
+
+    def test_cnot(self):
+        c = Circuit(n_qubits=2, gates=[cnot_gate(0, 1)])
+        assert c.simulate_classical([1, 0]) == [1, 1]
+        assert c.simulate_classical([0, 0]) == [0, 0]
+
+    def test_toffoli_truth_table(self):
+        c = Circuit(n_qubits=3, gates=[toffoli_gate(0, 1, 2)])
+        assert c.simulate_classical([1, 1, 0]) == [1, 1, 1]
+        assert c.simulate_classical([1, 0, 0]) == [1, 0, 0]
+
+    def test_non_classical_rejected(self):
+        c = Circuit(n_qubits=1, gates=[h_gate(0)])
+        with pytest.raises(ValueError):
+            c.simulate_classical([0])
+
+    def test_wrong_width_rejected(self):
+        c = Circuit(n_qubits=2, gates=[x_gate(0)])
+        with pytest.raises(ValueError):
+            c.simulate_classical([0])
+
+
+class TestComposition:
+    def test_concatenate(self):
+        a = Circuit(n_qubits=2, gates=[x_gate(0)], name="a")
+        b = Circuit(n_qubits=2, gates=[x_gate(1)], name="b")
+        c = a.concatenate(b)
+        assert len(c) == 2
+
+    def test_concatenate_size_mismatch(self):
+        a = Circuit(n_qubits=2)
+        b = Circuit(n_qubits=3)
+        with pytest.raises(ValueError):
+            a.concatenate(b)
+
+    def test_reverse_undoes_classical_circuit(self):
+        c = Circuit(n_qubits=3, gates=[
+            cnot_gate(0, 1), toffoli_gate(0, 1, 2), x_gate(0),
+        ])
+        full = c.concatenate(c.reversed_classical())
+        for bits in ([0, 0, 0], [1, 0, 1], [1, 1, 1]):
+            assert full.simulate_classical(bits) == bits
+
+    def test_reverse_rejects_quantum(self):
+        c = Circuit(n_qubits=1, gates=[h_gate(0)])
+        with pytest.raises(ValueError):
+            c.reversed_classical()

@@ -1,0 +1,156 @@
+"""Unit tests for Clifford conjugation and GF(2) solving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.clifford import (
+    cnot,
+    conjugate,
+    gf2_solve,
+    h,
+    product_of,
+    s,
+    sdg,
+    stabilizer_group_contains,
+    x,
+    y,
+    z,
+)
+from repro.ecc.pauli import Pauli
+
+X = Pauli.from_label("X")
+Y = Pauli(x=(1,), z=(1,), phase=1)  # true Y operator
+Z = Pauli.from_label("Z")
+
+
+def _eq(a: Pauli, b: Pauli) -> bool:
+    return a == b
+
+
+class TestSingleQubitRules:
+    def test_h_swaps_x_and_z(self):
+        assert _eq(conjugate(X, [h(0)]), Z)
+        assert _eq(conjugate(Z, [h(0)]), X)
+
+    def test_h_negates_y(self):
+        out = conjugate(Y, [h(0)])
+        assert out.x == (1,) and out.z == (1,)
+        assert (out.phase - Y.phase) % 4 == 2  # -Y
+
+    def test_s_sends_x_to_y(self):
+        assert _eq(conjugate(X, [s(0)]), Y)
+
+    def test_s_sends_y_to_minus_x(self):
+        out = conjugate(Y, [s(0)])
+        assert out.label() == "X"
+        assert out.phase == 2
+
+    def test_s_fixes_z(self):
+        assert _eq(conjugate(Z, [s(0)]), Z)
+
+    def test_sdg_inverts_s(self):
+        for p in (X, Y, Z):
+            assert _eq(conjugate(conjugate(p, [s(0)]), [sdg(0)]), p)
+
+    def test_x_negates_z(self):
+        out = conjugate(Z, [x(0)])
+        assert out.label() == "Z" and out.phase == 2
+
+    def test_z_negates_x(self):
+        out = conjugate(X, [z(0)])
+        assert out.label() == "X" and out.phase == 2
+
+    def test_y_negates_x_and_z(self):
+        assert conjugate(X, [y(0)]).phase == 2
+        assert conjugate(Z, [y(0)]).phase == 2
+        assert _eq(conjugate(Y, [y(0)]), Y)
+
+
+class TestCnotRules:
+    def test_control_x_propagates(self):
+        xi = Pauli.from_label("XI")
+        assert conjugate(xi, [cnot(0, 1)]).label() == "XX"
+
+    def test_target_z_propagates(self):
+        iz = Pauli.from_label("IZ")
+        assert conjugate(iz, [cnot(0, 1)]).label() == "ZZ"
+
+    def test_target_x_fixed(self):
+        ix = Pauli.from_label("IX")
+        assert conjugate(ix, [cnot(0, 1)]).label() == "IX"
+
+    def test_control_z_fixed(self):
+        zi = Pauli.from_label("ZI")
+        assert conjugate(zi, [cnot(0, 1)]).label() == "ZI"
+
+    def test_yy_goes_to_minus_xz(self):
+        yy = Pauli(x=(1, 1), z=(1, 1), phase=2)  # Y (x) Y = i^2 XZ(x)XZ
+        out = conjugate(yy, [cnot(0, 1)])
+        assert out.label() == "XZ"
+        assert out.phase == 2
+
+    def test_cnot_same_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            cnot(1, 1)
+
+
+class TestCircuitComposition:
+    def test_hxh_then_s(self):
+        # S H X H S^dag = S Z S^dag = Z
+        out = conjugate(X, [h(0), s(0)])
+        assert _eq(out, Z)
+
+    def test_conjugation_is_homomorphism(self):
+        gates = [h(0), cnot(0, 1), s(1)]
+        a = Pauli.from_label("XZ")
+        b = Pauli.from_label("ZY")
+        lhs = conjugate(a * b, gates)
+        rhs = conjugate(a, gates) * conjugate(b, gates)
+        assert lhs == rhs
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=4)
+    def test_commutation_preserved(self, seed):
+        gates = [h(0), cnot(0, 1), s(1), cnot(1, 0)][: seed + 1]
+        a = Pauli.from_label("XZ")
+        b = Pauli.from_label("ZX")
+        before = a.commutes_with(b)
+        after = conjugate(a, gates).commutes_with(conjugate(b, gates))
+        assert before == after
+
+
+class TestGf2Solve:
+    def test_simple_combination(self):
+        rows = np.array([[1, 0, 0], [0, 1, 0], [1, 1, 1]], dtype=np.uint8)
+        combo = gf2_solve(rows, np.array([0, 1, 1], dtype=np.uint8))
+        total = np.zeros(3, dtype=np.uint8)
+        for i in combo:
+            total ^= rows[i]
+        assert list(total) == [0, 1, 1]
+
+    def test_unsolvable(self):
+        rows = np.array([[1, 0]], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            gf2_solve(rows, np.array([0, 1], dtype=np.uint8))
+
+
+class TestGroupContains:
+    def test_positive_membership(self):
+        gens = [Pauli.from_label("XX"), Pauli.from_label("ZZ")]
+        member = gens[0] * gens[1]
+        assert stabilizer_group_contains(gens, member)
+
+    def test_sign_sensitivity(self):
+        gens = [Pauli.from_label("XX")]
+        minus = Pauli(x=(1, 1), z=(0, 0), phase=2)
+        assert not stabilizer_group_contains(gens, minus)
+
+    def test_non_member(self):
+        gens = [Pauli.from_label("XX")]
+        assert not stabilizer_group_contains(gens, Pauli.from_label("XI"))
+
+    def test_product_of(self):
+        gens = [Pauli.from_label("XI"), Pauli.from_label("IX")]
+        assert product_of(gens, [0, 1]).label() == "XX"

@@ -1,0 +1,66 @@
+"""Tests for computation-vs-communication accounting (Figure 8)."""
+
+import pytest
+
+from repro.sim.comm import (
+    adder_transfer_count,
+    modexp_breakdown,
+    qft_breakdown,
+    superblock_bandwidth_per_period,
+)
+
+
+class TestTraffic:
+    def test_adder_transfer_count_scales_with_toffolis(self):
+        from repro.sim.scheduler import _adder_circuit
+
+        circuit = _adder_circuit(64, False)
+        transfers = adder_transfer_count(64)
+        assert transfers >= 18 * circuit.toffoli_count
+
+    def test_superblock_bandwidth_grows_with_blocks(self):
+        small = superblock_bandwidth_per_period(16)
+        large = superblock_bandwidth_per_period(121)
+        assert large > small
+
+
+class TestModexp:
+    def test_communication_subordinate_to_computation(self):
+        """Figure 8a's message: modular exponentiation is dominated by
+        computation; communication is significant but smaller."""
+        for n in (64, 256):
+            b = modexp_breakdown("bacon_shor", n, 16 if n == 64 else 49)
+            assert 0.1 < b.ratio < 1.0
+
+    def test_totals_grow_steeply_with_size(self):
+        small = modexp_breakdown("bacon_shor", 64, 16)
+        large = modexp_breakdown("bacon_shor", 256, 49)
+        assert large.computation_s > 4 * small.computation_s
+
+    def test_hours_conversion(self):
+        b = modexp_breakdown("bacon_shor", 64, 16)
+        assert b.computation_hours == pytest.approx(b.computation_s / 3600)
+
+    def test_steane_slower_than_bacon_shor(self):
+        st = modexp_breakdown("steane", 64, 16)
+        bs = modexp_breakdown("bacon_shor", 64, 16)
+        assert st.computation_s > bs.computation_s
+
+
+class TestQft:
+    def test_communication_closely_tracks_computation(self):
+        """Figure 8b's message: QFT communication is a little less than
+        computation and tracks it across sizes."""
+        for n in (100, 500, 1000):
+            b = qft_breakdown("bacon_shor", n)
+            assert 0.5 < b.ratio < 1.0
+
+    def test_quadratic_growth(self):
+        b100 = qft_breakdown("bacon_shor", 100)
+        b1000 = qft_breakdown("bacon_shor", 1000)
+        assert 80 < b1000.computation_s / b100.computation_s < 120
+
+    def test_magnitude_near_paper(self):
+        # Paper Figure 8b tops out around 1e5 seconds at size 1000.
+        b = qft_breakdown("bacon_shor", 1000)
+        assert 3e4 < b.computation_s < 3e5

@@ -1,0 +1,164 @@
+"""Tests for the concatenation model against the paper's Table 2."""
+
+import pytest
+
+from repro.analysis import paper_values
+from repro.ecc.concatenated import (
+    BACON_SHOR_SPEC,
+    STEANE_SPEC,
+    ConcatenatedCode,
+    bacon_shor_concatenated,
+    by_key,
+    spec_by_key,
+    steane_concatenated,
+)
+
+
+class TestSpecs:
+    def test_upper_ops_steane(self):
+        # 2*12 encode + 2*7 transversal + 10 overhead = 48 per syndrome.
+        assert STEANE_SPEC.upper_ops_per_syndrome() == 48
+
+    def test_upper_ops_bacon_shor(self):
+        # 6 gauge x (1 + 4 + 1) + 4 = 40 per syndrome.
+        assert BACON_SHOR_SPEC.upper_ops_per_syndrome() == 40
+
+    def test_spec_lookup(self):
+        assert spec_by_key("steane") is STEANE_SPEC
+        with pytest.raises(ValueError):
+            spec_by_key("surface")
+
+    def test_by_key(self):
+        assert by_key("steane").spec is STEANE_SPEC
+        assert by_key("bacon_shor").spec is BACON_SHOR_SPEC
+        with pytest.raises(ValueError):
+            by_key("nope")
+
+
+class TestIonCounts:
+    def test_table2_data_counts_exact(self):
+        for key, level in paper_values.QUBIT_COUNTS:
+            code = by_key(key)
+            paper_data, _ = paper_values.QUBIT_COUNTS[(key, level)]
+            assert code.data_ions(level) == paper_data
+
+    def test_l1_ancilla_counts_exact(self):
+        assert steane_concatenated().ancilla_ions(1) == 21
+        assert bacon_shor_concatenated().ancilla_ions(1) == 12
+
+    def test_bacon_shor_l2_ancilla_within_one_of_paper(self):
+        # Paper: 298; our model: 9 data + 9 ancilla level-1 blocks = 297.
+        assert abs(bacon_shor_concatenated().ancilla_ions(2) - 298) <= 1
+
+    def test_level_zero(self):
+        code = steane_concatenated()
+        assert code.total_ions(0) == 1
+        assert code.data_ions(0) == 1
+
+    def test_block_counts(self):
+        assert steane_concatenated().logical_block_counts(2) == (7, 7)
+        assert bacon_shor_concatenated().logical_block_counts(2) == (9, 9)
+
+
+class TestTiming:
+    @pytest.mark.parametrize("key", ["steane", "bacon_shor"])
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_ec_time_matches_paper(self, key, level):
+        code = by_key(key)
+        paper = paper_values.EC_TIME_S[(key, level)]
+        assert code.ec_time_s(level) == pytest.approx(paper, rel=0.15)
+
+    def test_transversal_is_two_ec_plus_pulse(self):
+        code = steane_concatenated()
+        for level in (1, 2):
+            assert code.transversal_gate_time_s(level) > 2 * code.ec_time_s(level)
+            assert code.transversal_gate_time_s(level) == pytest.approx(
+                2 * code.ec_time_s(level), rel=0.05
+            )
+
+    def test_l2_two_orders_above_l1(self):
+        # "two orders of magnitude more than the time to error correct
+        # at level 1" (Section 4.1).
+        code = steane_concatenated()
+        ratio = code.ec_time_s(2) / code.ec_time_s(1)
+        assert 80 < ratio < 120
+
+    def test_bacon_shor_faster_than_steane(self):
+        st, bs = steane_concatenated(), bacon_shor_concatenated()
+        for level in (1, 2):
+            assert bs.ec_time_s(level) < st.ec_time_s(level)
+
+    def test_logical_op_time_between_ec_and_transversal(self):
+        code = bacon_shor_concatenated()
+        assert (
+            code.ec_time_s(2)
+            < code.logical_op_time_s(2)
+            < code.transversal_gate_time_s(2)
+        )
+
+    def test_ec_time_level_zero_is_zero(self):
+        assert steane_concatenated().ec_time_s(0) == 0.0
+
+
+class TestArea:
+    @pytest.mark.parametrize("key", ["steane", "bacon_shor"])
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_qubit_area_matches_paper(self, key, level):
+        code = by_key(key)
+        paper = paper_values.QUBIT_AREA_MM2[(key, level)]
+        assert code.qubit_area_mm2(level) == pytest.approx(paper, rel=0.25)
+
+    def test_steane_l2_area_is_14_l1_tiles_plus_overhead(self):
+        code = steane_concatenated()
+        expected = 14 * code.qubit_area_mm2(1) * 1.1
+        assert code.qubit_area_mm2(2) == pytest.approx(expected)
+
+    def test_bacon_shor_denser_than_steane(self):
+        st, bs = steane_concatenated(), bacon_shor_concatenated()
+        for level in (1, 2):
+            assert bs.qubit_area_mm2(level) < st.qubit_area_mm2(level)
+
+
+class TestReliability:
+    def test_failure_rate_decreases_doubly_exponentially(self):
+        code = steane_concatenated()
+        p0 = code.failure_rate(0)
+        p1 = code.failure_rate(1)
+        p2 = code.failure_rate(2)
+        assert p1 < p0
+        # log-log: p2/pth ~ (p1/pth)^2 modulo the r factor
+        assert p2 < p1 * p1 * 1e6
+
+    def test_equation_one_form(self):
+        code = steane_concatenated()
+        p0 = code.params.average_failure_rate()
+        pth = code.spec.threshold
+        expected = (pth / 12.0) * (p0 / pth) ** 2
+        assert code.failure_rate(1) == pytest.approx(expected)
+
+    def test_explicit_p0(self):
+        code = steane_concatenated()
+        assert code.failure_rate(1, p0=1e-6) > code.failure_rate(1, p0=1e-8)
+
+    def test_min_level_for(self):
+        code = steane_concatenated()
+        assert code.min_level_for(0.5) == 0
+        level = code.min_level_for(1e-12)
+        assert 1 <= level <= 3
+
+    def test_min_level_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            steane_concatenated().min_level_for(0.0)
+
+    def test_bacon_shor_threshold_higher(self):
+        assert BACON_SHOR_SPEC.threshold > STEANE_SPEC.threshold
+
+
+class TestValidation:
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            steane_concatenated().ec_time_s(-1)
+
+    def test_huge_level_rejected(self):
+        with pytest.raises(ValueError):
+            steane_concatenated().qubit_area_mm2(9)

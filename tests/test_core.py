@@ -1,0 +1,236 @@
+"""Tests for the CQLA core: design points, hierarchy, fidelity, metrics."""
+
+import pytest
+
+from repro.analysis import paper_values
+from repro.core.cqla import CqlaDesign
+from repro.core.design_space import (
+    PAPER_BLOCK_CHOICES,
+    block_choices,
+    hierarchy_sweep,
+    performance_blocks,
+    specialization_sweep,
+)
+from repro.core.fidelity import FidelityBudget, application_kq
+from repro.core.hierarchy import (
+    DEFAULT_POLICY,
+    HierarchyPolicy,
+    MemoryHierarchy,
+)
+from repro.core.metrics import DesignMetrics, gain_product, utilization_efficiency
+
+
+class TestCqlaDesign:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CqlaDesign("surface", 64, 9)
+        with pytest.raises(ValueError):
+            CqlaDesign("steane", 1, 9)
+        with pytest.raises(ValueError):
+            CqlaDesign("steane", 64, 0)
+
+    def test_gain_product_is_area_times_speedup(self):
+        d = CqlaDesign("bacon_shor", 64, 16)
+        assert d.gain_product() == pytest.approx(
+            d.area_reduction() * d.speedup()
+        )
+
+    def test_area_reduction_always_above_three(self):
+        for code in ("steane", "bacon_shor"):
+            for n, k in ((32, 9), (256, 49), (1024, 121)):
+                assert CqlaDesign(code, n, k).area_reduction() > 3.0
+
+    def test_bacon_shor_triple_speed_of_steane(self):
+        st = CqlaDesign("steane", 64, 16)
+        bs = CqlaDesign("bacon_shor", 64, 16)
+        ratio = bs.speedup() / st.speedup()
+        assert ratio == pytest.approx(2.94, rel=0.05)
+
+    def test_more_blocks_never_slower(self):
+        slow = CqlaDesign("steane", 256, 36)
+        fast = CqlaDesign("steane", 256, 49)
+        assert fast.speedup() >= slow.speedup()
+
+    def test_modexp_time_scaling(self):
+        d = CqlaDesign("bacon_shor", 64, 16)
+        assert d.modexp_time_s() > 100 * d.adder_time_s()
+
+
+class TestTable4Agreement:
+    @pytest.mark.parametrize("code", ["steane", "bacon_shor"])
+    @pytest.mark.parametrize("n_bits,n_blocks", [
+        (32, 4), (64, 9), (64, 16), (128, 25), (256, 49), (512, 81),
+    ])
+    def test_speedup_within_15_percent(self, code, n_bits, n_blocks):
+        design = CqlaDesign(code, n_bits, n_blocks)
+        paper = paper_values.TABLE4[(n_bits, n_blocks, code)][1]
+        assert design.speedup() == pytest.approx(paper, rel=0.15)
+
+    @pytest.mark.parametrize("code", ["steane", "bacon_shor"])
+    @pytest.mark.parametrize("n_bits,n_blocks", [
+        (32, 4), (64, 9), (128, 16), (256, 49), (512, 81),
+    ])
+    def test_area_reduction_within_30_percent(self, code, n_bits, n_blocks):
+        design = CqlaDesign(code, n_bits, n_blocks)
+        paper = paper_values.TABLE4[(n_bits, n_blocks, code)][0]
+        assert design.area_reduction() == pytest.approx(paper, rel=0.30)
+
+    def test_bacon_shor_to_steane_area_ratio(self):
+        # The code ratio is a pure tile-area ratio: ~3.4/2.4.
+        st = CqlaDesign("steane", 512, 81)
+        bs = CqlaDesign("bacon_shor", 512, 81)
+        assert bs.area_reduction() / st.area_reduction() == pytest.approx(
+            1.41, rel=0.05
+        )
+
+
+class TestHierarchyPolicy:
+    def test_default_is_one_to_two(self):
+        assert DEFAULT_POLICY.l1_additions == 1
+        assert DEFAULT_POLICY.l2_additions == 2
+        assert DEFAULT_POLICY.l1_fraction == pytest.approx(1 / 3)
+
+    def test_adder_speedup_composition(self):
+        # S = S2 (S1 + 2) / 3 — verified against the paper's own rows:
+        # Bacon-Shor 512-bit, 10 transfers: S1=9.61, S2=2.28 -> 8.82.
+        s = DEFAULT_POLICY.adder_speedup(9.61, 2.28)
+        assert s == pytest.approx(8.82, abs=0.01)
+
+    def test_reproduces_most_published_cells(self):
+        matched = 0
+        for (code, par, n), row in paper_values.TABLE5.items():
+            s1, s2, s_adder = row[0], row[1], row[2]
+            composed = DEFAULT_POLICY.adder_speedup(s1, s2)
+            if abs(composed - s_adder) / s_adder < 0.02:
+                matched += 1
+        assert matched >= 10  # 10 of 12 cells within 2%
+
+    def test_all_l2_policy(self):
+        policy = HierarchyPolicy(l1_additions=0, l2_additions=1)
+        assert policy.adder_speedup(10.0, 2.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyPolicy(l1_additions=-1)
+        with pytest.raises(ValueError):
+            HierarchyPolicy(l1_additions=0, l2_additions=0)
+        with pytest.raises(ValueError):
+            DEFAULT_POLICY.adder_speedup(0.0, 1.0)
+
+
+class TestMemoryHierarchy:
+    @pytest.fixture(scope="class")
+    def hierarchy(self):
+        return MemoryHierarchy(
+            CqlaDesign("bacon_shor", 64, 16), parallel_transfers=10
+        )
+
+    def test_l1_speedup_large(self, hierarchy):
+        assert hierarchy.l1_speedup() > 3.0
+
+    def test_adder_speedup_between_l2_and_l1(self, hierarchy):
+        s = hierarchy.adder_speedup()
+        assert hierarchy.l2_speedup() < s
+
+    def test_gain_product_exceeds_specialization_alone(self, hierarchy):
+        assert hierarchy.gain_product() > hierarchy.design.gain_product()
+
+    def test_policy_is_safe(self, hierarchy):
+        assert hierarchy.policy_is_safe()
+
+    def test_l1_time_fraction_small(self, hierarchy):
+        # "only a few percent of the total execution time in level 1".
+        assert hierarchy.l1_time_fraction() < 0.05
+
+    def test_area_with_hierarchy_slightly_lower_reduction(self, hierarchy):
+        assert hierarchy.area_reduction() < hierarchy.design.area_reduction()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(CqlaDesign("steane", 64, 16), parallel_transfers=0)
+
+
+class TestFidelity:
+    def test_kq_formula(self):
+        kq = application_kq(64, adder_slots=400)
+        from repro.circuits.modexp import serial_adder_depth
+        assert kq == serial_adder_depth(64) * 400 * 320
+
+    def test_budget_inverse_of_kq(self):
+        b = FidelityBudget("steane", 64, adder_slots=400)
+        assert b.budget_per_op == pytest.approx(1.0 / b.kq)
+
+    def test_level2_meets_shor_1024_budget(self):
+        b = FidelityBudget("steane", 1024, adder_slots=650)
+        assert b.required_level() <= 2
+        assert b.failure_rate(2) < b.budget_per_op
+
+    def test_l1_fraction_in_unit_interval(self):
+        b = FidelityBudget("bacon_shor", 1024, adder_slots=650)
+        f = b.max_l1_op_fraction()
+        assert 0.0 <= f <= 1.0
+
+    def test_one_third_policy_safe_for_study_sizes(self):
+        for code in ("steane", "bacon_shor"):
+            for n in (256, 1024):
+                b = FidelityBudget(code, n, adder_slots=650)
+                assert b.policy_is_safe(1.0 / 3.0)
+
+    def test_time_fraction_much_smaller_than_op_fraction(self):
+        b = FidelityBudget("steane", 256, adder_slots=500)
+        assert b.l1_time_fraction(1 / 3) < 0.05
+
+    def test_time_fraction_validation(self):
+        b = FidelityBudget("steane", 256, adder_slots=500)
+        with pytest.raises(ValueError):
+            b.l1_time_fraction(1.5)
+
+    def test_adder_slots_validated(self):
+        with pytest.raises(ValueError):
+            application_kq(64, adder_slots=0)
+
+
+class TestDesignSpace:
+    def test_paper_block_choices_preserved(self):
+        for n, pair in PAPER_BLOCK_CHOICES.items():
+            assert block_choices(n) == pair
+
+    def test_fallback_is_square_pair(self):
+        import math
+
+        k1, k2 = block_choices(200)
+        assert math.isqrt(k1) ** 2 == k1
+        assert math.isqrt(k2) ** 2 == k2
+        assert k2 > k1
+
+    def test_performance_blocks(self):
+        assert performance_blocks(256) == 49
+
+    def test_specialization_sweep_shape(self):
+        rows = specialization_sweep(sizes=(32, 64))
+        assert len(rows) == 2 * 2 * 2  # sizes x block choices x codes
+
+    def test_hierarchy_sweep_shape(self):
+        rows = hierarchy_sweep(sizes=(64,), transfer_options=(5,))
+        assert len(rows) == 2
+        for row in rows:
+            assert row.l1_speedup > 1.0
+            assert row.gain_product > row.area_reduction
+
+
+class TestMetrics:
+    def test_gain_product(self):
+        assert gain_product(10.0, 2.0) == 20.0
+        with pytest.raises(ValueError):
+            gain_product(0.0, 1.0)
+
+    def test_design_metrics_bundle(self):
+        m = DesignMetrics(area_reduction=5.0, speedup=2.0)
+        assert m.gain_product == 10.0
+
+    def test_utilization_efficiency(self):
+        assert utilization_efficiency(0.5, 2.0) == 1.0
+        with pytest.raises(ValueError):
+            utilization_efficiency(1.5, 1.0)
+        with pytest.raises(ValueError):
+            utilization_efficiency(0.5, 0.0)

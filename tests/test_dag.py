@@ -1,0 +1,82 @@
+"""Unit tests for circuit dependency analysis."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag, parallelism_series
+from repro.circuits.gates import cnot_gate, toffoli_gate, x_gate
+
+
+def chain_circuit():
+    """x(0); cnot(0,1); cnot(1,2) — a pure dependency chain."""
+    return Circuit(n_qubits=3, gates=[
+        x_gate(0), cnot_gate(0, 1), cnot_gate(1, 2),
+    ])
+
+
+def wide_circuit():
+    """Four independent single-qubit gates."""
+    return Circuit(n_qubits=4, gates=[x_gate(q) for q in range(4)])
+
+
+class TestBuild:
+    def test_chain_dependencies(self):
+        dag = CircuitDag.build(chain_circuit())
+        assert dag.preds == [[], [0], [1]]
+        assert dag.succs == [[1], [2], []]
+
+    def test_independent_gates(self):
+        dag = CircuitDag.build(wide_circuit())
+        assert all(not p for p in dag.preds)
+
+    def test_shared_qubit_dedup(self):
+        c = Circuit(n_qubits=3, gates=[
+            toffoli_gate(0, 1, 2), toffoli_gate(0, 1, 2),
+        ])
+        dag = CircuitDag.build(c)
+        assert dag.preds[1] == [0]  # three shared qubits, one edge
+
+
+class TestLevels:
+    def test_chain_depth(self):
+        dag = CircuitDag.build(chain_circuit())
+        assert dag.asap_levels() == [0, 1, 2]
+        assert dag.depth() == 3
+
+    def test_wide_depth(self):
+        dag = CircuitDag.build(wide_circuit())
+        assert dag.depth() == 1
+        assert dag.max_parallelism() == 4
+
+    def test_profile_sums_to_gate_count(self):
+        for circuit in (chain_circuit(), wide_circuit()):
+            profile = parallelism_series(circuit)
+            assert sum(profile) == len(circuit)
+
+    def test_empty_circuit(self):
+        dag = CircuitDag.build(Circuit(n_qubits=1))
+        assert dag.depth() == 0
+        assert dag.parallelism_profile() == []
+        assert dag.critical_path_slots() == 0
+
+
+class TestWeightedPaths:
+    def test_critical_path_respects_durations(self):
+        c = Circuit(n_qubits=3, gates=[
+            toffoli_gate(0, 1, 2),  # 15 slots
+            x_gate(0),              # depends on the toffoli
+        ])
+        dag = CircuitDag.build(c)
+        assert dag.critical_path_slots() == 16
+        assert dag.asap_start_slots() == [0, 15]
+
+    def test_downstream_slack_orders_critical_gates_first(self):
+        dag = CircuitDag.build(chain_circuit())
+        slack = dag.downstream_slack()
+        assert slack[0] > slack[1] > slack[2]
+
+    def test_ready_at_start(self):
+        dag = CircuitDag.build(chain_circuit())
+        assert dag.ready_at_start() == [0]
+        dag_wide = CircuitDag.build(wide_circuit())
+        assert dag_wide.ready_at_start() == [0, 1, 2, 3]

@@ -1,0 +1,160 @@
+"""Functional and structural tests for the Draper carry-lookahead adder."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.draper import (
+    AdderLayout,
+    adder_stats,
+    carry_lookahead_adder,
+)
+from repro.circuits.gates import GateKind
+
+
+@pytest.fixture(scope="module")
+def adder16():
+    return carry_lookahead_adder(16)
+
+
+@pytest.fixture(scope="module")
+def adder16_out():
+    return carry_lookahead_adder(16, in_place=False)
+
+
+class TestLayout:
+    def test_register_sizes(self):
+        layout = AdderLayout.allocate(8)
+        assert len(layout.a) == 8
+        assert len(layout.b) == 8
+        assert len(layout.z) == 8
+        # Tree nodes: 4 + 2 + 1 at levels 1..3.
+        assert len(layout.p_tree) == 7
+
+    def test_qubit_ids_disjoint(self):
+        layout = AdderLayout.allocate(8)
+        ids = layout.a + layout.b + layout.z + list(layout.p_tree.values())
+        assert len(ids) == len(set(ids)) == layout.n_qubits
+
+    def test_carry_indexing(self):
+        layout = AdderLayout.allocate(4)
+        assert layout.carry(1) == layout.z[0]
+        assert layout.carry_out == layout.z[3]
+        with pytest.raises(ValueError):
+            layout.carry(0)
+        with pytest.raises(ValueError):
+            layout.carry(5)
+
+    def test_p_node_level_zero_is_b(self):
+        layout = AdderLayout.allocate(4)
+        assert layout.p_node(0, 2) == layout.b[2]
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            AdderLayout.allocate(1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 16])
+    def test_exhaustive_small_or_sampled(self, n):
+        adder = carry_lookahead_adder(n)
+        if n <= 4:
+            cases = [(a, b) for a in range(1 << n) for b in range(1 << n)]
+        else:
+            cases = [(0, 0), (1, 1), ((1 << n) - 1, (1 << n) - 1),
+                     (0b1010 % (1 << n), 0b0101 % (1 << n)),
+                     ((1 << n) - 1, 1)]
+        for a, b in cases:
+            total, _ = adder.add(a, b)
+            assert total == a + b, f"n={n}: {a}+{b} gave {total}"
+
+    def test_a_register_preserved(self, adder16):
+        total, final = adder16.add(40961, 12345)
+        a_value = sum(
+            final[adder16.layout.a[i]] << i for i in range(16)
+        )
+        assert a_value == 40961
+
+    def test_ancilla_clean_in_place(self, adder16):
+        _, final = adder16.add(54321, 65535)
+        for j in range(1, 16):
+            assert final[adder16.layout.carry(j)] == 0
+        for q in adder16.layout.p_tree.values():
+            assert final[q] == 0
+
+    def test_carry_out_set_on_overflow(self, adder16):
+        total, final = adder16.add(65535, 1)
+        assert total == 65536
+        assert final[adder16.layout.carry_out] == 1
+
+    def test_out_of_place_sum_correct(self, adder16_out):
+        total, _ = adder16_out.add(1234, 4321)
+        assert total == 5555
+
+    def test_out_of_place_leaves_true_carries(self, adder16_out):
+        a, b = 0b1111000011110000, 0b0000111100001111
+        _, final = adder16_out.add(a, b)
+        # Recompute carries classically and compare.
+        carry = 0
+        for i in range(16):
+            abit = (a >> i) & 1
+            bbit = (b >> i) & 1
+            carry = (abit & bbit) | (carry & (abit ^ bbit))
+            assert final[adder16_out.layout.carry(i + 1)] == carry
+
+    def test_operand_range_validated(self, adder16):
+        with pytest.raises(ValueError):
+            adder16.add(1 << 16, 0)
+        with pytest.raises(ValueError):
+            adder16.add(0, -1)
+
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_widths_and_operands(self, n, data):
+        a = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        adder = carry_lookahead_adder(n)
+        total, final = adder.add(a, b)
+        assert total == a + b
+        for j in range(1, n):
+            assert final[adder.layout.carry(j)] == 0
+
+
+class TestStructure:
+    def test_gate_vocabulary(self, adder16):
+        kinds = {g.kind for g in adder16.circuit.gates}
+        assert kinds <= {GateKind.X, GateKind.CNOT, GateKind.TOFFOLI}
+
+    def test_toffoli_scaling_linear(self):
+        t64 = adder_stats(64, in_place=False).toffoli_count
+        t128 = adder_stats(128, in_place=False).toffoli_count
+        assert 1.8 < t128 / t64 < 2.2
+
+    def test_round_count_logarithmic(self):
+        # Out-of-place rounds ~ 4 lg n + 3 (the published depth).
+        for n in (64, 256):
+            rounds = carry_lookahead_adder(n, in_place=False).n_rounds
+            expected = 4 * int(math.log2(n)) + 3
+            assert abs(rounds - expected) <= 2
+
+    def test_stages_monotonic_and_aligned(self, adder16):
+        stages = adder16.stages
+        assert len(stages) == len(adder16.circuit)
+        assert all(b - a in (0, 1) for a, b in zip(stages, stages[1:]))
+
+    def test_in_place_roughly_doubles_work(self):
+        out = adder_stats(32, in_place=False)
+        inp = adder_stats(32, in_place=True)
+        assert 1.6 < inp.toffoli_count / out.toffoli_count < 2.4
+
+    def test_stats_fields(self):
+        s = adder_stats(32, in_place=False)
+        assert s.n == 32
+        assert s.gate_count == s.toffoli_count + s.cnot_count
+        assert s.total_ec_slots == 15 * s.toffoli_count + s.cnot_count
+        assert s.max_parallelism >= 32

@@ -1,0 +1,69 @@
+"""Tests for the cycle-accurate level-1 EC schedules (Section 4.1)."""
+
+import pytest
+
+from repro.analysis import paper_values
+from repro.ecc.schedule import (
+    bacon_shor_syndrome_schedule,
+    l1_ec_cycles,
+    l1_syndrome_cycles,
+    steane_syndrome_schedule,
+)
+from repro.physical.params import Op
+
+
+@pytest.fixture(scope="module")
+def steane_cost():
+    return steane_syndrome_schedule()
+
+
+@pytest.fixture(scope="module")
+def bs_cost():
+    return bacon_shor_syndrome_schedule()
+
+
+class TestSteaneSchedule:
+    def test_cycles_near_paper_154(self, steane_cost):
+        paper = paper_values.STEANE_L1_SYNDROME_CYCLES
+        assert abs(steane_cost.cycles - paper) / paper < 0.15
+
+    def test_op_mix(self, steane_cost):
+        counts = steane_cost.op_counts
+        # 9 encoder CNOTs + 7 verification + 7 transversal two-qubit gates.
+        assert counts[Op.DOUBLE_GATE] == 23
+        # 7 verification + 7 syndrome measurements.
+        assert counts[Op.MEASURE] == 14
+        assert counts[Op.MOVE] > 50  # movement dominated
+
+    def test_duration_seconds(self, steane_cost):
+        assert steane_cost.duration_s == pytest.approx(
+            steane_cost.cycles * 1e-5
+        )
+
+
+class TestBaconShorSchedule:
+    def test_cycles_near_sixty(self, bs_cost):
+        # EC = 2 syndromes at ~60 cycles -> the paper's 1.2 ms.
+        assert 50 <= bs_cost.cycles <= 75
+
+    def test_op_mix(self, bs_cost):
+        counts = bs_cost.op_counts
+        # 6 gauge ops x 2 CNOTs x 2 repetitions.
+        assert counts[Op.DOUBLE_GATE] == 24
+        assert counts[Op.MEASURE] == 12
+
+    def test_faster_than_steane(self, bs_cost, steane_cost):
+        assert bs_cost.cycles < steane_cost.cycles / 2
+
+
+class TestCachedAccess:
+    def test_l1_syndrome_cycles_matches_schedules(self, steane_cost, bs_cost):
+        assert l1_syndrome_cycles("steane") == steane_cost.cycles
+        assert l1_syndrome_cycles("bacon_shor") == bs_cost.cycles
+
+    def test_l1_ec_is_two_syndromes(self):
+        assert l1_ec_cycles("steane") == 2 * l1_syndrome_cycles("steane")
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            l1_syndrome_cycles("surface")

@@ -1,0 +1,58 @@
+"""Smoke tests for the example scripts (deliverable b).
+
+The quickstart is executed end to end; the heavier examples are
+imported (syntax + import-graph check) and their main() entry points
+verified to exist.  Full runs of every example are exercised manually /
+in the benchmark logs.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_reports_key_metrics(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        assert "Area reduction" in out
+        assert "Gain product" in out
+        assert "L1 speedup" in out
+
+
+class TestOtherExamples:
+    @pytest.mark.parametrize("name", [
+        "factor_1024",
+        "cache_study",
+        "error_correction_study",
+        "design_space_exploration",
+    ])
+    def test_importable_with_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+
+class TestCacheStudyExecution:
+    def test_small_run(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "cache_study.py"), "16"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "optimized fetch" in result.stdout

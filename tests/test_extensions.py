@@ -1,0 +1,144 @@
+"""Tests for the extension modules: Shor model, control costs,
+mixed-granularity scheduling, and sensitivity analyses."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    adder_ablation,
+    cache_ablation,
+    memory_pressure,
+    policy_ablation,
+    technology_scaling,
+)
+from repro.arch.regions import CqlaFloorplan
+from repro.circuits.shor import shor_estimate, shor_kq
+from repro.core.cqla import CqlaDesign
+from repro.core.granularity import (
+    fine_grained_gain,
+    granularity_study,
+)
+from repro.physical.control import (
+    MEMS_FANOUT,
+    control_budget,
+    control_reduction,
+    laser_power,
+    qla_control_budget,
+)
+
+
+class TestShorModel:
+    def test_estimate_fields(self):
+        e = shor_estimate("bacon_shor", 256, 49)
+        assert e.logical_qubits == 5 * 256 + 512
+        assert e.modexp_time_s > e.qft_time_s
+        assert e.total_time_s == pytest.approx(
+            e.modexp_time_s + e.qft_time_s
+        )
+
+    def test_qft_is_minor_fraction(self):
+        # Section 6.1: the QFT is a small fraction of Shor's algorithm.
+        e = shor_estimate("bacon_shor", 512, 81)
+        assert e.qft_fraction < 0.35
+
+    def test_shor_1024_within_weeks_on_bacon_shor(self):
+        e = shor_estimate("bacon_shor", 1024, 121)
+        assert 5 < e.total_time_days < 120
+
+    def test_steane_slower(self):
+        st = shor_estimate("steane", 256, 49)
+        bs = shor_estimate("bacon_shor", 256, 49)
+        assert st.total_time_s > 2 * bs.total_time_s
+
+    def test_kq_scale(self):
+        kq = shor_kq("steane", 1024, 121)
+        assert 1e10 < kq < 1e12
+
+
+class TestControl:
+    def test_laser_power_proportional_to_fanout(self):
+        assert laser_power(8) == 8.0
+        with pytest.raises(ValueError):
+            laser_power(0)
+
+    def test_budget_counts(self):
+        plan = CqlaFloorplan("steane", memory_qubits=160, l2_blocks=9)
+        budget = control_budget(plan)
+        assert budget.laser_banks >= 1
+        assert budget.total_fanout > 9 * 49  # at least compute data ions
+        assert budget.electrode_signals > 0
+        assert budget.power_per_bank <= MEMS_FANOUT
+
+    def test_cqla_needs_fewer_lasers_than_qla(self):
+        plan = CqlaFloorplan("steane", memory_qubits=5120, l2_blocks=121)
+        assert control_reduction(plan, 1024) > 3.0
+
+    def test_qla_budget_scales_with_qubits(self):
+        small = qla_control_budget(64)
+        large = qla_control_budget(256)
+        assert large.laser_banks > small.laser_banks
+
+
+class TestGranularity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return granularity_study(CqlaDesign("bacon_shor", 64, 16))
+
+    def test_sweep_covers_unit_interval(self, study):
+        fractions = [p.l1_fraction for p in study.points]
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+
+    def test_speedup_monotone_in_l1_share(self, study):
+        speedups = [p.adder_speedup for p in study.points]
+        assert speedups == sorted(speedups)
+
+    def test_paper_policy_point(self, study):
+        point = study.paper_policy_point()
+        assert abs(point.l1_fraction - 1 / 3) < 0.12
+
+    def test_best_safe_at_least_paper_policy(self, study):
+        assert (
+            study.best_safe().adder_speedup
+            >= study.paper_policy_point().adder_speedup
+        )
+
+    def test_fine_grained_gain_at_least_one(self):
+        gain = fine_grained_gain(CqlaDesign("bacon_shor", 64, 16))
+        assert gain >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            granularity_study(CqlaDesign("steane", 64, 16), steps=1)
+
+
+class TestSensitivity:
+    def test_technology_scaling_monotone(self):
+        points = technology_scaling("steane", scales=(1.0, 100.0))
+        assert points[0].level1_failure < points[1].level1_failure
+        assert points[0].level_for_shor_1024 <= points[1].level_for_shor_1024
+
+    def test_far_above_threshold_needs_no_level(self):
+        points = technology_scaling("steane", scales=(1e5,))
+        # p0 above threshold: recursion cannot help (flagged as -1).
+        assert points[0].level_for_shor_1024 == -1
+
+    def test_policy_ablation_ordering(self):
+        points = policy_ablation(CqlaDesign("bacon_shor", 64, 16))
+        by_fraction = sorted(points, key=lambda p: p.l1_op_fraction)
+        speeds = [p.adder_speedup for p in by_fraction]
+        assert speeds == sorted(speeds)
+
+    def test_adder_ablation_penalty(self):
+        ab = adder_ablation(64, 16)
+        assert 1.5 < ab.in_place_penalty < 3.0
+
+    def test_cache_ablation_hit_rate_monotone(self):
+        points = cache_ablation("steane", 64, factors=(0.5, 2.0))
+        assert points[1].hit_rate >= points[0].hit_rate
+
+    def test_memory_pressure_grows_with_size(self):
+        points = memory_pressure("steane", sizes=(32, 1024))
+        assert points[1].memory_fraction > points[0].memory_fraction
+        for p in points:
+            assert 0 < p.memory_fraction < 1
+            assert 0 < p.compute_fraction < 1

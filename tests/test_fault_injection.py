@@ -1,0 +1,87 @@
+"""Tests for circuit-level fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.clifford import cnot, h
+from repro.ecc.fault_injection import (
+    bacon_shor_encoder_injection,
+    circuit_pseudo_threshold,
+    fault_locations,
+    inject_encoder_faults,
+    sample_circuit_error,
+    steane_encoder_injection,
+)
+from repro.ecc.steane import encoder_circuit, steane_code
+
+
+class TestSampling:
+    def test_fault_locations_count(self):
+        circuit = [h(0), cnot(0, 1), cnot(1, 2)]
+        assert fault_locations(circuit) == 1 + 2 + 2
+
+    def test_zero_rate_yields_identity(self):
+        rng = np.random.default_rng(0)
+        err = sample_circuit_error(encoder_circuit(), 7, 0.0, rng)
+        assert err.is_identity()
+
+    def test_full_rate_yields_errors(self):
+        rng = np.random.default_rng(0)
+        err = sample_circuit_error(encoder_circuit(), 7, 1.0, rng)
+        assert not err.is_identity()
+
+    def test_faults_propagate_through_cnots(self):
+        """An X fault on a CNOT control before a fan-out must spread."""
+        rng = np.random.default_rng(1)
+        circuit = [cnot(0, 1), cnot(0, 2)]
+        spread = 0
+        for _ in range(200):
+            err = sample_circuit_error(circuit, 3, 0.3, rng)
+            if err.weight >= 2:
+                spread += 1
+        assert spread > 0
+
+
+class TestInjection:
+    def test_zero_noise_never_fails(self):
+        result = steane_encoder_injection(0.0, trials=50, seed=1)
+        assert result.failures == 0
+
+    def test_reproducible(self):
+        a = steane_encoder_injection(0.01, trials=400, seed=9)
+        b = steane_encoder_injection(0.01, trials=400, seed=9)
+        assert a.failures == b.failures
+
+    def test_low_noise_suppressed(self):
+        result = steane_encoder_injection(0.0005, trials=3000, seed=5)
+        # Circuit-level: still suppressed well below the physical rate
+        # after one ideal EC of the encoder output.
+        assert result.logical_error_rate < 0.01
+
+    def test_bacon_shor_injection_runs(self):
+        result = bacon_shor_encoder_injection(0.002, trials=800, seed=4)
+        assert result.fault_locations == 18  # 6 H + 6 CNOT x 2 qubits
+        assert 0.0 <= result.logical_error_rate < 0.1
+
+    def test_rate_monotonicity(self):
+        lo = steane_encoder_injection(0.001, trials=2500, seed=2)
+        hi = steane_encoder_injection(0.03, trials=2500, seed=2)
+        assert hi.logical_error_rate > lo.logical_error_rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inject_encoder_faults(steane_code(), encoder_circuit(), 1.5)
+        with pytest.raises(ValueError):
+            inject_encoder_faults(
+                steane_code(), encoder_circuit(), 0.1, trials=0
+            )
+
+
+class TestPseudoThreshold:
+    def test_threshold_scan(self):
+        crossing, results = circuit_pseudo_threshold(
+            steane_code(), encoder_circuit(),
+            rates=(0.0003, 0.003, 0.03), trials=1200, seed=7,
+        )
+        assert len(results) == 3
+        assert 0.0003 <= crossing <= 0.03

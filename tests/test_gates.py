@@ -1,0 +1,71 @@
+"""Unit tests for the logical-gate IR."""
+
+import pytest
+
+from repro.circuits.gates import (
+    Gate,
+    GateKind,
+    cnot_gate,
+    cphase_gate,
+    h_gate,
+    toffoli_gate,
+    x_gate,
+)
+
+
+class TestGateKind:
+    def test_arities(self):
+        assert GateKind.X.n_qubits == 1
+        assert GateKind.CNOT.n_qubits == 2
+        assert GateKind.TOFFOLI.n_qubits == 3
+        assert GateKind.CPHASE.n_qubits == 2
+
+    def test_toffoli_costs_fifteen_slots(self):
+        assert GateKind.TOFFOLI.ec_slots == 15
+        for kind in GateKind:
+            if kind is not GateKind.TOFFOLI:
+                assert kind.ec_slots == 1
+
+    def test_classical_gates(self):
+        assert GateKind.X.is_classical
+        assert GateKind.CNOT.is_classical
+        assert GateKind.TOFFOLI.is_classical
+        assert not GateKind.H.is_classical
+        assert not GateKind.CPHASE.is_classical
+
+
+class TestGateConstruction:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.CNOT, (1,))
+        with pytest.raises(ValueError):
+            Gate(GateKind.X, (1, 2))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.CNOT, (3, 3))
+        with pytest.raises(ValueError):
+            toffoli_gate(1, 2, 1)
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateKind.X, (-1,))
+
+    def test_builders(self):
+        assert x_gate(4).kind is GateKind.X
+        assert h_gate(0).qubits == (0,)
+        assert cnot_gate(0, 1).qubits == (0, 1)
+        assert toffoli_gate(0, 1, 2).ec_slots == 15
+
+    def test_cphase_carries_order(self):
+        g = cphase_gate(2, 0, 5)
+        assert g.param == 5
+        assert g.label() == "cphase q2 q0 5"
+
+    def test_cphase_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            cphase_gate(0, 1, 0)
+
+    def test_labels(self):
+        assert toffoli_gate(0, 1, 2).label() == "toffoli q0 q1 q2"
+        assert x_gate(7).label() == "x q7"

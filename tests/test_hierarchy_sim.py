@@ -1,0 +1,58 @@
+"""Tests for the memory-hierarchy simulator (Table 5's L1 speedups)."""
+
+import pytest
+
+from repro.sim.hierarchy_sim import l1_speedup, simulate_l1_run
+
+
+@pytest.fixture(scope="module")
+def steane_run():
+    return simulate_l1_run("steane", 64, parallel_transfers=10)
+
+
+class TestRunResult:
+    def test_l1_faster_than_l2(self, steane_run):
+        assert steane_run.l1_time_s < steane_run.l2_time_s
+        assert steane_run.l1_speedup > 1.0
+
+    def test_timing_decomposition(self, steane_run):
+        # Wall time is at least pure compute time plus exposed waits.
+        assert steane_run.l1_time_s >= steane_run.compute_time_s
+        assert steane_run.transfer_wait_s >= 0.0
+        assert steane_run.l1_time_s == pytest.approx(
+            steane_run.compute_time_s + steane_run.transfer_wait_s, rel=0.01
+        )
+
+    def test_transfers_happen(self, steane_run):
+        assert steane_run.transfers > 0
+        assert 0.0 < steane_run.hit_rate < 1.0
+
+    def test_transfer_bound_fraction(self, steane_run):
+        assert 0.0 <= steane_run.transfer_bound_fraction < 1.0
+
+
+class TestScaling:
+    def test_more_transfer_ports_help(self):
+        s5 = l1_speedup("steane", 64, parallel_transfers=5)
+        s10 = l1_speedup("steane", 64, parallel_transfers=10)
+        assert s10 > s5
+
+    def test_steane_gains_more_than_bacon_shor(self):
+        # The Steane L2/L1 EC ratio is larger and its transfers are
+        # cheaper per channel, so its hierarchy speedup is larger.
+        st = l1_speedup("steane", 64, parallel_transfers=10)
+        bs = l1_speedup("bacon_shor", 64, parallel_transfers=10)
+        assert st > bs > 1.0
+
+    def test_table5_magnitude_band(self):
+        # Paper: Steane L1 speedups ~17-18 at 10 parallel transfers,
+        # ~10 at 5.  Accept a generous band around those.
+        s10 = l1_speedup("steane", 256, parallel_transfers=10)
+        assert 10.0 < s10 < 30.0
+        s5 = l1_speedup("steane", 256, parallel_transfers=5)
+        assert 5.0 < s5 < 16.0
+
+    def test_bigger_cache_does_not_hurt(self):
+        small = simulate_l1_run("steane", 64, cache_factor=1.0)
+        large = simulate_l1_run("steane", 64, cache_factor=2.0)
+        assert large.hit_rate >= small.hit_rate - 1e-9

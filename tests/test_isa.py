@@ -1,0 +1,106 @@
+"""Tests for the assembly-like ISA (Section 5.2 instruction format)."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import GateKind, cnot_gate, cphase_gate, toffoli_gate
+from repro.circuits.isa import (
+    IsaError,
+    assemble,
+    assemble_line,
+    disassemble,
+    gates_from_lines,
+    read_program,
+    round_trip,
+    write_program,
+)
+from repro.circuits.qft import qft_circuit
+
+
+class TestAssembleLine:
+    def test_basic_gates(self):
+        g = assemble_line("cnot q0 q5")
+        assert g.kind is GateKind.CNOT
+        assert g.qubits == (0, 5)
+
+    def test_toffoli(self):
+        g = assemble_line("toffoli q1 q2 q3")
+        assert g.qubits == (1, 2, 3)
+
+    def test_cphase_with_order(self):
+        g = assemble_line("cphase q3 q1 4")
+        assert g.param == 4
+
+    def test_case_insensitive_mnemonic(self):
+        assert assemble_line("CNOT q0 q1").kind is GateKind.CNOT
+
+    def test_errors(self):
+        with pytest.raises(IsaError):
+            assemble_line("")
+        with pytest.raises(IsaError):
+            assemble_line("frobnicate q0")
+        with pytest.raises(IsaError):
+            assemble_line("cnot q0")
+        with pytest.raises(IsaError):
+            assemble_line("cnot q0 five")
+        with pytest.raises(IsaError):
+            assemble_line("cphase q0 q1")  # missing order
+        with pytest.raises(IsaError):
+            assemble_line("x q0 junk")
+
+
+class TestAssembleProgram:
+    def test_comments_and_blanks_skipped(self):
+        text = """
+        # a small program
+        h q0
+        cnot q0 q1  # entangle
+        """
+        c = assemble(text)
+        assert len(c) == 2
+        assert c.n_qubits == 2
+
+    def test_qubit_count_inferred(self):
+        c = assemble("x q9")
+        assert c.n_qubits == 10
+
+    def test_explicit_qubit_count_respected(self):
+        c = assemble("x q0", n_qubits=16)
+        assert c.n_qubits == 16
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(IsaError):
+            assemble("# nothing here")
+
+
+class TestRoundTrip:
+    def test_qft_round_trips(self):
+        original = qft_circuit(6)
+        restored = round_trip(original)
+        assert len(restored) == len(original)
+        for a, b in zip(original.gates, restored.gates):
+            assert a == b
+
+    def test_mixed_circuit_round_trips(self):
+        c = Circuit(n_qubits=4, gates=[
+            toffoli_gate(0, 1, 2), cnot_gate(2, 3), cphase_gate(0, 3, 2),
+        ], name="mixed")
+        assert round_trip(c).gates == c.gates
+
+    def test_disassemble_has_header(self):
+        c = Circuit(n_qubits=2, gates=[cnot_gate(0, 1)], name="t")
+        text = disassemble(c)
+        assert text.startswith("# t: 2 qubits")
+
+
+class TestFileIo:
+    def test_write_and_read(self, tmp_path):
+        c = qft_circuit(4)
+        path = tmp_path / "qft.qasm"
+        write_program(str(path), c)
+        restored = read_program(str(path), n_qubits=4)
+        assert restored.gates == c.gates
+
+    def test_gates_from_lines_streaming(self):
+        gates = gates_from_lines(["h q0", "# skip", "cnot q0 q1"])
+        assert len(gates) == 2

@@ -1,0 +1,118 @@
+"""Unit tests for trapping-region grid geometry."""
+
+import pytest
+
+from repro.physical.layout import (
+    GridSpec,
+    TileGeometry,
+    manhattan,
+    near_square_grid,
+    route,
+)
+
+
+class TestGridSpec:
+    def test_basic_counts(self):
+        g = GridSpec(rows=3, cols=4)
+        assert g.n_regions == 12
+        assert g.contains((0, 0)) and g.contains((2, 3))
+        assert not g.contains((3, 0)) and not g.contains((0, 4))
+        assert not g.contains((-1, 0))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GridSpec(rows=0, cols=3)
+        with pytest.raises(ValueError):
+            GridSpec(rows=3, cols=-1)
+        with pytest.raises(ValueError):
+            GridSpec(rows=3, cols=3, capacity=0)
+
+    def test_neighbors_interior_and_corner(self):
+        g = GridSpec(rows=3, cols=3)
+        assert set(g.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+        assert set(g.neighbors((0, 0))) == {(1, 0), (0, 1)}
+
+    def test_coords_enumerates_all(self):
+        g = GridSpec(rows=2, cols=3)
+        assert len(list(g.coords())) == 6
+
+    def test_area(self):
+        g = GridSpec(rows=2, cols=2)
+        assert g.area_um2() == pytest.approx(4 * 2500.0)
+        assert g.area_mm2() == pytest.approx(0.01)
+
+
+class TestRouting:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((2, 2), (2, 2)) == 0
+
+    def test_route_endpoints_and_length(self):
+        path = route((0, 0), (2, 3))
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 3)
+        assert len(path) == manhattan((0, 0), (2, 3)) + 1
+
+    def test_route_steps_are_unit_hops(self):
+        path = route((4, 1), (1, 3))
+        for a, b in zip(path, path[1:]):
+            assert manhattan(a, b) == 1
+
+    def test_route_to_self(self):
+        assert route((1, 1), (1, 1)) == [(1, 1)]
+
+
+class TestNearSquareGrid:
+    def test_exact_square(self):
+        g = near_square_grid(49)
+        assert (g.rows, g.cols) == (7, 7)
+
+    def test_at_least_requested(self):
+        for n in (1, 2, 5, 13, 88, 89, 100, 1000):
+            g = near_square_grid(n)
+            assert g.n_regions >= n
+
+    def test_near_square_aspect(self):
+        g = near_square_grid(88)
+        assert abs(g.rows - g.cols) <= 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            near_square_grid(0)
+
+
+class TestTileGeometry:
+    def test_region_count_includes_channels(self):
+        t = TileGeometry(n_ions=10, channel_fraction=1.0)
+        assert t.n_regions == 20
+
+    def test_zero_channels(self):
+        t = TileGeometry(n_ions=10, channel_fraction=0.0)
+        assert t.n_regions == 10
+
+    def test_steane_tile_matches_schedule_grid(self):
+        # 28 ions at channel factor 2.15 -> the 9x10 grid the EC
+        # schedule is laid out on.
+        t = TileGeometry(n_ions=28, channel_fraction=2.15)
+        g = t.grid()
+        assert (g.rows, g.cols) == (9, 10)
+
+    def test_bacon_shor_tile_is_7x7(self):
+        t = TileGeometry(n_ions=21, channel_fraction=1.31)
+        g = t.grid()
+        assert (g.rows, g.cols) == (7, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileGeometry(n_ions=0, channel_fraction=1.0)
+        with pytest.raises(ValueError):
+            TileGeometry(n_ions=5, channel_fraction=-0.1)
+
+    def test_mean_hop_distance_positive_and_bounded(self):
+        t = TileGeometry(n_ions=28, channel_fraction=2.15)
+        mean = t.mean_hop_distance()
+        g = t.grid()
+        assert 0 < mean < g.rows + g.cols
+
+    def test_mean_hop_single_region(self):
+        assert TileGeometry(1, 0.0).mean_hop_distance() == 0.0

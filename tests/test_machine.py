@@ -1,0 +1,180 @@
+"""Unit tests for the cycle-level trap machine executor."""
+
+import pytest
+
+from repro.physical.layout import GridSpec
+from repro.physical.machine import (
+    ContentionError,
+    MicroOp,
+    TrapMachine,
+    interaction_cost_cycles,
+)
+from repro.physical.params import Op, future_params
+
+
+def make_machine(rows=4, cols=4):
+    return TrapMachine(grid=GridSpec(rows=rows, cols=cols))
+
+
+class TestSetup:
+    def test_add_and_position(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        assert m.position("a") == (0, 0)
+        assert m.ions() == ["a"]
+
+    def test_duplicate_name_rejected(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        with pytest.raises(ValueError):
+            m.add_ion("a", (1, 1))
+
+    def test_out_of_grid_rejected(self):
+        m = make_machine()
+        with pytest.raises(ValueError):
+            m.add_ion("a", (9, 9))
+
+    def test_region_capacity_two(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        m.add_ion("b", (0, 0))
+        with pytest.raises(ContentionError):
+            m.add_ion("c", (0, 0))
+
+
+class TestExecution:
+    def test_single_gate_one_cycle(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        result = m.run([[MicroOp(Op.SINGLE_GATE, ("a",))]])
+        assert result.cycles == 1
+        assert result.op_counts[Op.SINGLE_GATE] == 1
+
+    def test_move_counts_hops(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        result = m.run([[MicroOp(Op.MOVE, ("a",), dest=(0, 3))]])
+        assert result.cycles == 3
+        assert m.position("a") == (0, 3)
+        assert result.op_counts[Op.MOVE] == 3
+
+    def test_two_qubit_gate_requires_colocation(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        m.add_ion("b", (0, 1))
+        with pytest.raises(ContentionError):
+            m.run([[MicroOp(Op.DOUBLE_GATE, ("a", "b"))]])
+
+    def test_two_qubit_gate_after_move(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        m.add_ion("b", (0, 1))
+        result = m.run([
+            [MicroOp(Op.MOVE, ("a",), dest=(0, 1))],
+            [MicroOp(Op.DOUBLE_GATE, ("a", "b"))],
+        ])
+        assert result.cycles == 2
+        assert result.op_counts[Op.DOUBLE_GATE] == 1
+
+    def test_parallel_step_takes_max_duration(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        m.add_ion("b", (3, 0))
+        result = m.run([[
+            MicroOp(Op.MOVE, ("a",), dest=(0, 2)),   # 2 hops
+            MicroOp(Op.SINGLE_GATE, ("b",)),          # 1 cycle
+        ]])
+        assert result.cycles == 2
+
+    def test_junction_contention_serializes(self):
+        # Two ions entering the same region on the same cycle must
+        # serialize (one junction slot per cycle).
+        m = make_machine(rows=1, cols=3)
+        m.add_ion("a", (0, 0))
+        m.add_ion("b", (0, 2))
+        result = m.run([[
+            MicroOp(Op.MOVE, ("a",), dest=(0, 1)),
+            MicroOp(Op.MOVE, ("b",), dest=(0, 1)),
+        ]])
+        assert result.stall_cycles > 0
+        assert result.cycles == 2  # second entry waits one cycle
+
+    def test_pipelined_following_does_not_stall(self):
+        # An ion may enter a region the cycle after another vacated it.
+        m = make_machine(rows=1, cols=5)
+        m.add_ion("a", (0, 0))
+        m.add_ion("b", (0, 1))
+        result = m.run([[
+            MicroOp(Op.MOVE, ("a",), dest=(0, 3)),
+            MicroOp(Op.MOVE, ("b",), dest=(0, 4)),
+        ]])
+        assert result.stall_cycles == 0
+
+    def test_unknown_ion(self):
+        m = make_machine()
+        with pytest.raises(KeyError):
+            m.run([[MicroOp(Op.SINGLE_GATE, ("ghost",))]])
+
+    def test_move_to_full_region_rejected(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        m.add_ion("b", (0, 1))
+        m.add_ion("c", (0, 1))
+        with pytest.raises(ContentionError):
+            m.run([[MicroOp(Op.MOVE, ("a",), dest=(0, 1))]])
+
+    def test_clock_accumulates_over_runs(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        m.run([[MicroOp(Op.SINGLE_GATE, ("a",))]])
+        result = m.run([[MicroOp(Op.SINGLE_GATE, ("a",))]])
+        assert result.cycles == 2
+
+
+class TestFailureAccounting:
+    def test_failure_probability_accumulates(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        result = m.run([
+            [MicroOp(Op.SINGLE_GATE, ("a",))],
+            [MicroOp(Op.SINGLE_GATE, ("a",))],
+        ])
+        p = future_params().failure_rate(Op.SINGLE_GATE)
+        assert result.failure_probability == pytest.approx(
+            1 - (1 - p) ** 2, rel=1e-6
+        )
+
+    def test_zero_failure_ops_contribute_nothing(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        result = m.run([[MicroOp(Op.SPLIT, ("a",))]])
+        assert result.failure_probability == 0.0
+
+
+class TestMicroOpValidation:
+    def test_double_gate_arity(self):
+        with pytest.raises(ValueError):
+            MicroOp(Op.DOUBLE_GATE, ("a",))
+
+    def test_move_needs_dest(self):
+        with pytest.raises(ValueError):
+            MicroOp(Op.MOVE, ("a",))
+
+    def test_single_op_arity(self):
+        with pytest.raises(ValueError):
+            MicroOp(Op.MEASURE, ("a", "b"))
+
+
+class TestHelpers:
+    def test_interaction_cost_closed_form(self):
+        g = GridSpec(rows=5, cols=5)
+        cost = interaction_cost_cycles(g, (0, 0), (0, 3))
+        # 3 hops out, 3 hops back, one two-qubit gate cycle.
+        assert cost == 2 * 3 * 1 + 1
+
+    def test_duration_properties(self):
+        m = make_machine()
+        m.add_ion("a", (0, 0))
+        result = m.run([[MicroOp(Op.SINGLE_GATE, ("a",))]])
+        assert result.duration_us == pytest.approx(10.0)
+        assert result.duration_s == pytest.approx(1e-5)

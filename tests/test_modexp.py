@@ -1,0 +1,56 @@
+"""Tests for the modular-exponentiation workload model."""
+
+import math
+
+import pytest
+
+from repro.circuits.modexp import (
+    ModExpWorkload,
+    modexp_addition_trace,
+    modexp_logical_qubits,
+    serial_adder_depth,
+    total_additions,
+)
+
+
+class TestCounts:
+    def test_serial_depth_formula(self):
+        # 2n multiplications x (lg n + 3 reduction adds).
+        assert serial_adder_depth(1024) == 2 * 1024 * (10 + 3)
+        assert serial_adder_depth(64) == 2 * 64 * (6 + 3)
+
+    def test_serial_depth_non_power_of_two(self):
+        assert serial_adder_depth(100) == 2 * 100 * (math.ceil(math.log2(100)) + 3)
+
+    def test_total_additions_quadratic(self):
+        assert total_additions(64) == 2 * 64 * (64 + 3)
+
+    def test_logical_qubits(self):
+        assert modexp_logical_qubits(1024) == 5120
+
+    def test_validation(self):
+        for fn in (serial_adder_depth, total_additions, modexp_logical_qubits):
+            with pytest.raises(ValueError):
+                fn(1)
+
+
+class TestWorkload:
+    def test_workload_bundles_adder_stats(self):
+        w = ModExpWorkload.for_bits(64)
+        assert w.logical_qubits == 320
+        assert w.toffolis_per_adder > 64
+        assert w.serial_adders == serial_adder_depth(64)
+        assert w.total_adders == total_additions(64)
+        assert w.gates_per_adder >= w.toffolis_per_adder
+
+
+class TestTrace:
+    def test_trace_repeats_adder(self):
+        trace = modexp_addition_trace(8, n_adders=3)
+        single = modexp_addition_trace(8, n_adders=1)
+        assert len(trace) == 3 * len(single)
+        assert trace.n_qubits == single.n_qubits
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            modexp_addition_trace(8, n_adders=0)

@@ -1,0 +1,73 @@
+"""Tests for the Monte Carlo logical-error-rate machinery."""
+
+import pytest
+
+from repro.ecc.bacon_shor import bacon_shor_code
+from repro.ecc.montecarlo import (
+    logical_error_rate,
+    pseudo_threshold,
+    sample_depolarizing,
+)
+from repro.ecc.steane import steane_code
+
+import numpy as np
+
+
+class TestSampling:
+    def test_zero_rate_gives_identity(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert sample_depolarizing(7, 0.0, rng).is_identity()
+
+    def test_full_rate_gives_full_weight(self):
+        rng = np.random.default_rng(0)
+        assert sample_depolarizing(5, 1.0, rng).weight == 5
+
+    def test_rate_controls_expected_weight(self):
+        rng = np.random.default_rng(1)
+        weights = [sample_depolarizing(100, 0.1, rng).weight for _ in range(50)]
+        assert 5 < sum(weights) / len(weights) < 15
+
+
+class TestLogicalErrorRate:
+    def test_noiseless_never_fails(self):
+        result = logical_error_rate(steane_code(), 0.0, trials=50, seed=1)
+        assert result.failures == 0
+        assert result.logical_error_rate == 0.0
+
+    def test_seed_reproducibility(self):
+        a = logical_error_rate(steane_code(), 0.02, trials=300, seed=7)
+        b = logical_error_rate(steane_code(), 0.02, trials=300, seed=7)
+        assert a.failures == b.failures
+
+    @pytest.mark.parametrize("code_fn", [steane_code, bacon_shor_code])
+    def test_suppression_below_pseudothreshold(self, code_fn):
+        code = code_fn()
+        result = logical_error_rate(code, 0.002, trials=4000, seed=11)
+        assert result.logical_error_rate < 0.002
+
+    def test_quadratic_scaling_regime(self):
+        # Distance 3: logical rate ~ c p^2, so decade steps in p give
+        # roughly two decades in the logical rate.
+        code = steane_code()
+        hi = logical_error_rate(code, 0.03, trials=8000, seed=3)
+        lo = logical_error_rate(code, 0.003, trials=8000, seed=3)
+        assert lo.logical_error_rate < hi.logical_error_rate / 10
+
+    def test_standard_error_positive(self):
+        result = logical_error_rate(steane_code(), 0.05, trials=500, seed=5)
+        assert result.standard_error > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            logical_error_rate(steane_code(), 1.5, trials=10)
+        with pytest.raises(ValueError):
+            logical_error_rate(steane_code(), 0.1, trials=0)
+
+
+class TestPseudoThreshold:
+    def test_in_plausible_band(self):
+        # Code-capacity pseudo-threshold of distance-3 codes sits in the
+        # percent range.
+        value = pseudo_threshold(steane_code(), trials=2000, seed=9)
+        assert 0.002 < value <= 0.2

@@ -1,0 +1,162 @@
+"""Unit and property tests for the Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.pauli import Pauli, enumerate_errors, symplectic_matrix
+
+
+def paulis(n=4):
+    """Hypothesis strategy for n-qubit Paulis with phases."""
+    bit = st.integers(min_value=0, max_value=1)
+    return st.builds(
+        lambda xs, zs, p: Pauli(x=tuple(xs), z=tuple(zs), phase=p),
+        st.lists(bit, min_size=n, max_size=n),
+        st.lists(bit, min_size=n, max_size=n),
+        st.integers(min_value=0, max_value=3),
+    )
+
+
+class TestConstruction:
+    def test_from_label(self):
+        p = Pauli.from_label("XIZY")
+        assert p.x == (1, 0, 0, 1)
+        assert p.z == (0, 0, 1, 1)
+        assert p.label() == "XIZY"
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("XQ")
+
+    def test_identity(self):
+        p = Pauli.identity(3)
+        assert p.is_identity()
+        assert p.weight == 0
+
+    def test_single(self):
+        p = Pauli.single(5, 2, "Y")
+        assert p.label() == "IIYII"
+        assert p.weight == 1
+
+    def test_single_rejects_identity_kind(self):
+        with pytest.raises(ValueError):
+            Pauli.single(3, 0, "I")
+
+    def test_single_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            Pauli.single(3, 3, "X")
+
+    def test_mismatched_xz(self):
+        with pytest.raises(ValueError):
+            Pauli(x=(1, 0), z=(0,))
+
+
+class TestAlgebra:
+    def test_xz_anticommute(self):
+        x = Pauli.from_label("X")
+        z = Pauli.from_label("Z")
+        assert not x.commutes_with(z)
+
+    def test_xx_zz_commute(self):
+        assert Pauli.from_label("XX").commutes_with(Pauli.from_label("ZZ"))
+
+    def test_product_xz_is_minus_iy(self):
+        x = Pauli.from_label("X")
+        z = Pauli.from_label("Z")
+        prod = x * z  # X then Z applied -> XZ = -iY
+        assert prod.label() == "Y"
+        assert prod.phase == 0  # i^0 X Z is the canonical form of XZ
+
+    def test_product_zx_has_phase(self):
+        z = Pauli.from_label("Z")
+        x = Pauli.from_label("X")
+        prod = z * x  # ZX = i^2 XZ
+        assert prod.label() == "Y"
+        assert prod.phase == 2
+
+    def test_square_of_y_representation(self):
+        y = Pauli(x=(1,), z=(1,), phase=1)  # true Y = iXZ
+        sq = y * y
+        assert sq.is_identity()
+        assert sq.phase == 0  # Y^2 = +I
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            Pauli.from_label("XX") * Pauli.from_label("X")
+        with pytest.raises(ValueError):
+            Pauli.from_label("XX").commutes_with(Pauli.from_label("X"))
+
+    def test_support_and_restricted_label(self):
+        p = Pauli.from_label("IXIZ")
+        assert p.support() == (1, 3)
+        assert p.restricted_label([1, 3]) == "XZ"
+
+
+class TestSymplectic:
+    def test_roundtrip(self):
+        p = Pauli.from_label("XYZI")
+        q = Pauli.from_symplectic(p.symplectic())
+        assert q.x == p.x and q.z == p.z
+
+    def test_matrix_shape(self):
+        ops = [Pauli.from_label("XX"), Pauli.from_label("ZZ")]
+        m = symplectic_matrix(ops)
+        assert m.shape == (2, 4)
+
+    def test_bad_vector(self):
+        with pytest.raises(ValueError):
+            Pauli.from_symplectic(np.array([1, 0, 1]))
+
+
+class TestEnumeration:
+    def test_weight_one_count(self):
+        errors = list(enumerate_errors(7, 1))
+        assert len(errors) == 21  # 3 kinds x 7 qubits
+        assert all(e.weight == 1 for e in errors)
+
+    def test_weight_two_count(self):
+        errors = list(enumerate_errors(4, 2))
+        # 12 weight-1 + C(4,2)*9 weight-2
+        assert len(errors) == 12 + 6 * 9
+
+    def test_weight_three_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            list(enumerate_errors(3, 3))
+
+
+class TestProperties:
+    @given(paulis(), paulis())
+    @settings(max_examples=60)
+    def test_commutation_symmetric(self, a, b):
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(paulis(), paulis(), paulis())
+    @settings(max_examples=40)
+    def test_associativity(self, a, b, c):
+        left = (a * b) * c
+        right = a * (b * c)
+        assert left == right
+
+    @given(paulis())
+    @settings(max_examples=40)
+    def test_square_is_phase_only(self, a):
+        sq = a * a
+        assert sq.weight == 0  # P^2 is proportional to identity
+
+    @given(paulis(), paulis())
+    @settings(max_examples=60)
+    def test_product_commutation_phase(self, a, b):
+        # a*b and b*a differ exactly by the commutation sign.
+        ab, ba = a * b, b * a
+        assert ab.x == ba.x and ab.z == ba.z
+        expected = 0 if a.commutes_with(b) else 2
+        assert (ab.phase - ba.phase) % 4 == expected
+
+    @given(paulis())
+    @settings(max_examples=40)
+    def test_identity_neutral(self, a):
+        ident = Pauli.identity(a.n)
+        assert ident * a == a
+        assert a * ident == a

@@ -1,0 +1,103 @@
+"""Unit tests for the physical parameter layer (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.physical.params import (
+    CYCLE_TIME_US,
+    DEFAULT_PARAMS,
+    Op,
+    OpParams,
+    PhysicalParams,
+    future_params,
+    now_params,
+)
+
+
+class TestOpParams:
+    def test_cycles_round_up(self):
+        assert OpParams(10.0, 0.0).cycles == 1
+        assert OpParams(11.0, 0.0).cycles == 2
+        assert OpParams(200.0, 0.0).cycles == 20
+
+    def test_sub_cycle_operations_take_one_cycle(self):
+        assert OpParams(0.1, 0.0).cycles == 1
+        assert OpParams(1.0, 0.0).cycles == 1
+
+
+class TestFutureParams:
+    def test_cycle_is_ten_microseconds(self):
+        assert CYCLE_TIME_US == 10.0
+
+    def test_table1_future_durations(self):
+        p = future_params()
+        assert p.duration_us(Op.SINGLE_GATE) == 1.0
+        assert p.duration_us(Op.DOUBLE_GATE) == 10.0
+        assert p.duration_us(Op.MEASURE) == 10.0
+        assert p.duration_us(Op.MOVE) == 10.0
+        assert p.duration_us(Op.SPLIT) == 0.1
+        assert p.duration_us(Op.COOL) == 0.1
+
+    def test_table1_future_failure_rates(self):
+        p = future_params()
+        assert p.failure_rate(Op.SINGLE_GATE) == 1.0e-8
+        assert p.failure_rate(Op.DOUBLE_GATE) == 1.0e-7
+        assert p.failure_rate(Op.MEASURE) == 1.0e-8
+        assert p.failure_rate(Op.MOVE) == 1.0e-6
+
+    def test_trap_region_geometry(self):
+        p = future_params()
+        assert p.trap_size_um == 5.0
+        assert p.region_pitch_um == 50.0
+        assert p.region_area_um2 == 2500.0
+
+    def test_every_gate_fits_in_one_cycle(self):
+        p = future_params()
+        for op in Op:
+            assert p.cycles(op) == 1
+
+
+class TestNowParams:
+    def test_now_is_slower_and_noisier(self):
+        now, future = now_params(), future_params()
+        for op in (Op.SINGLE_GATE, Op.DOUBLE_GATE, Op.MEASURE, Op.MOVE):
+            assert now.failure_rate(op) > future.failure_rate(op)
+        assert now.duration_us(Op.MEASURE) > future.duration_us(Op.MEASURE)
+
+    def test_now_measure_takes_twenty_cycles(self):
+        assert now_params().cycles(Op.MEASURE) == 20
+
+
+class TestAverageFailureRate:
+    def test_average_over_table1_entries(self):
+        # Movement enters as Table 1 quotes it: per micrometer (5e-8),
+        # not per region hop.
+        p = future_params()
+        expected = (1.0e-8 + 1.0e-7 + 1.0e-8 + 5.0e-8) / 4
+        assert p.average_failure_rate() == pytest.approx(expected)
+
+    def test_average_below_steane_threshold(self):
+        # The premise of the whole study: components beat the threshold.
+        assert future_params().average_failure_rate() < 7.5e-5
+
+
+class TestScaled:
+    def test_scaling_multiplies_failures_only(self):
+        base = future_params()
+        scaled = base.scaled("pessimistic", 10.0)
+        assert scaled.name == "pessimistic"
+        for op in Op:
+            assert scaled.duration_us(op) == base.duration_us(op)
+            assert scaled.failure_rate(op) == pytest.approx(
+                10.0 * base.failure_rate(op)
+            )
+
+    def test_default_params_is_future(self):
+        assert DEFAULT_PARAMS.name == "future"
+
+
+class TestValidation:
+    def test_memory_time_positive(self):
+        assert future_params().memory_time_s > 0
+        assert now_params().memory_time_s > 0

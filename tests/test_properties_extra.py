@@ -1,0 +1,163 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* circuit, schedule, or cache
+reference stream — not just the paper's workloads.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag
+from repro.circuits.gates import Gate, GateKind
+from repro.circuits.isa import assemble, disassemble
+from repro.ecc.pauli import Pauli
+from repro.ecc.tableau import Tableau
+from repro.sim.cache import LruCache, simulate_optimized
+from repro.sim.scheduler import list_schedule
+
+
+@st.composite
+def circuits(draw, max_qubits=8, max_gates=25):
+    """Random logical circuits over the full gate vocabulary."""
+    n = draw(st.integers(min_value=3, max_value=max_qubits))
+    n_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    gates = []
+    for _ in range(n_gates):
+        kind = draw(st.sampled_from([
+            GateKind.X, GateKind.H, GateKind.CNOT, GateKind.TOFFOLI,
+            GateKind.CPHASE,
+        ]))
+        qubits = tuple(draw(st.permutations(range(n)))[: kind.n_qubits])
+        param = 2 if kind is GateKind.CPHASE else 0
+        gates.append(Gate(kind, qubits, param=param))
+    return Circuit(n_qubits=n, gates=gates)
+
+
+class TestSchedulerProperties:
+    @given(circuits(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, circuit, k):
+        """Any resource-constrained schedule is bounded below by both
+        the critical path and the work bound, and above by Brent's
+        theorem (T_inf + W/k) for list scheduling."""
+        capped = list_schedule(circuit, k)
+        free = list_schedule(circuit, None)
+        if not circuit.gates:
+            assert capped.makespan == 0
+            return
+        assert capped.makespan >= free.makespan
+        assert capped.makespan >= math.ceil(capped.busy / k)
+        assert capped.makespan <= free.makespan + capped.busy  # loose Brent
+
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_work_conserved(self, circuit):
+        a = list_schedule(circuit, 2)
+        b = list_schedule(circuit, None)
+        assert a.busy == b.busy == circuit.total_ec_slots()
+
+    @given(circuits(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_profile_never_exceeds_blocks(self, circuit, k):
+        result = list_schedule(circuit, k, unit_time=True, keep_profile=True)
+        if result.profile:
+            assert max(result.profile) <= k
+
+    @given(circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_unlimited_equals_dag_critical_path(self, circuit):
+        free = list_schedule(circuit, None)
+        dag = CircuitDag.build(circuit)
+        assert free.makespan == dag.critical_path_slots()
+
+
+class TestIsaProperties:
+    @given(circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_any_circuit(self, circuit):
+        if not circuit.gates:
+            return
+        restored = assemble(disassemble(circuit), n_qubits=circuit.n_qubits)
+        assert restored.gates == circuit.gates
+
+
+class TestCacheProperties:
+    @given(circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_optimized_order_is_dependency_valid(self, circuit):
+        if not circuit.gates:
+            return
+        result = simulate_optimized(circuit, capacity=3)
+        position = {idx: pos for pos, idx in enumerate(result.order)}
+        dag = CircuitDag.build(circuit)
+        for i, preds in enumerate(dag.preds):
+            for p in preds:
+                assert position[p] < position[i]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=80),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50)
+    def test_lru_hit_iff_recently_used(self, refs, capacity):
+        """LRU semantics: a reference hits iff the distinct-reference
+        distance since its last use is within capacity."""
+        cache = LruCache(capacity)
+        history = []
+        for q in refs:
+            if q in history:
+                since = history[history.index(q) + 1:]
+                expected_hit = len(set(since)) < capacity
+            else:
+                expected_hit = False
+            assert cache.access(q) == expected_hit
+            if q in history:
+                history.remove(q)
+            history.append(q)
+
+
+class TestTableauProperties:
+    @given(st.integers(min_value=0, max_value=2 ** 5 - 1))
+    @settings(max_examples=30)
+    def test_basis_state_preparation(self, value):
+        """X gates prepare exactly the requested computational state."""
+        t = Tableau(5, seed=0)
+        for q in range(5):
+            if (value >> q) & 1:
+                t.x_gate(q)
+        measured = sum(t.measure(q) << q for q in range(5))
+        assert measured == value
+
+    @given(st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20)
+    def test_stabilizer_rows_commute(self, seed):
+        from repro.ecc.steane import encoder_circuit
+
+        t = Tableau(7, seed=seed)
+        t.apply(encoder_circuit())
+        rows = [t.stabilizer_row(i) for i in range(7)]
+        for i, a in enumerate(rows):
+            for b in rows[i + 1:]:
+                assert a.commutes_with(b)
+
+
+class TestPauliTableauConsistency:
+    @given(st.integers(min_value=0, max_value=6),
+           st.sampled_from(["X", "Y", "Z"]))
+    @settings(max_examples=30, deadline=None)
+    def test_syndromes_agree_between_formalisms(self, qubit, kind):
+        """The algebraic syndrome and the tableau-measured syndrome of
+        any single-qubit error agree on the Steane code."""
+        from repro.ecc.steane import encoder_circuit, steane_code
+
+        code = steane_code()
+        error = Pauli.single(7, qubit, kind)
+        t = Tableau(7, seed=0)
+        t.apply(encoder_circuit())
+        t.apply_pauli(error)
+        for stab, expected in zip(code.stabilizers, code.syndrome(error)):
+            assert t.measure_observable(stab) == expected

@@ -1,0 +1,50 @@
+"""Tests for the QFT workload."""
+
+import pytest
+
+from repro.circuits.gates import GateKind
+from repro.circuits.qft import QftCommunication, qft_circuit, qft_gate_counts
+
+
+class TestCircuit:
+    def test_gate_counts_exact(self):
+        c = qft_circuit(8)
+        h_count, cp_count = qft_gate_counts(8)
+        assert c.count(GateKind.H) == h_count == 8
+        assert c.count(GateKind.CPHASE) == cp_count == 28
+
+    def test_rotation_orders(self):
+        c = qft_circuit(4)
+        orders = [g.param for g in c.gates if g.kind is GateKind.CPHASE]
+        assert min(orders) == 2
+        assert max(orders) == 4
+
+    def test_approximate_qft_truncates(self):
+        exact = qft_circuit(16)
+        approx = qft_circuit(16, approximation_degree=4)
+        assert len(approx) < len(exact)
+        orders = [g.param for g in approx.gates if g.kind is GateKind.CPHASE]
+        assert max(orders) <= 4
+
+    def test_single_qubit(self):
+        c = qft_circuit(1)
+        assert len(c) == 1
+        assert c.gates[0].kind is GateKind.H
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+        with pytest.raises(ValueError):
+            qft_circuit(4, approximation_degree=0)
+
+
+class TestCommunication:
+    def test_all_to_all_message_count(self):
+        comm = QftCommunication(10)
+        assert comm.messages == 45
+        assert len(comm.pair_list()) == 45
+
+    def test_pairs_unique_ordered(self):
+        pairs = QftCommunication(6).pair_list()
+        assert len(set(pairs)) == len(pairs)
+        assert all(i < j for i, j in pairs)

@@ -1,0 +1,137 @@
+"""Tests for the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import cnot_gate, toffoli_gate, x_gate
+from repro.sim.scheduler import (
+    adder_balanced_slots,
+    adder_balanced_utilization,
+    adder_critical_slots,
+    adder_schedule,
+    adder_utilization,
+    cached_adder,
+    list_schedule,
+    parallelism_profiles,
+    toffoli_subcircuit,
+)
+
+
+def wide_circuit(width=8):
+    return Circuit(n_qubits=width, gates=[x_gate(q) for q in range(width)])
+
+
+class TestListSchedule:
+    def test_unlimited_equals_depth(self):
+        result = list_schedule(wide_circuit(), None, unit_time=True)
+        assert result.makespan == 1
+        assert result.busy == 8
+
+    def test_cap_serializes(self):
+        result = list_schedule(wide_circuit(), 2, unit_time=True)
+        assert result.makespan == 4
+
+    def test_profile_respects_cap(self):
+        result = list_schedule(wide_circuit(), 3, unit_time=True,
+                               keep_profile=True)
+        assert max(result.profile) <= 3
+        assert sum(result.profile) == 8
+
+    def test_durations_respected(self):
+        c = Circuit(n_qubits=3, gates=[toffoli_gate(0, 1, 2), x_gate(0)])
+        result = list_schedule(c, 1)
+        assert result.makespan == 16
+
+    def test_dependencies_respected(self):
+        c = Circuit(n_qubits=2, gates=[x_gate(0), cnot_gate(0, 1)])
+        result = list_schedule(c, 8, unit_time=True)
+        assert result.makespan == 2
+
+    def test_empty_circuit(self):
+        result = list_schedule(Circuit(n_qubits=1), 4)
+        assert result.makespan == 0
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            list_schedule(wide_circuit(), 0)
+
+    def test_utilization(self):
+        result = list_schedule(wide_circuit(), 2, unit_time=True)
+        assert result.utilization == pytest.approx(1.0)
+        unlimited = list_schedule(wide_circuit(), None, unit_time=True)
+        with pytest.raises(ValueError):
+            unlimited.utilization
+
+
+class TestStages:
+    def test_barrier_prevents_early_start(self):
+        # Two independent gates forced into sequential rounds.
+        c = Circuit(n_qubits=2, gates=[x_gate(0), x_gate(1)])
+        free = list_schedule(c, None, unit_time=True)
+        staged = list_schedule(c, None, unit_time=True, stages=[0, 1])
+        assert free.makespan == 1
+        assert staged.makespan == 2
+
+    def test_stage_annotation_length_checked(self):
+        c = wide_circuit()
+        with pytest.raises(ValueError):
+            list_schedule(c, None, stages=[0])
+
+    def test_adder_rounds_dominate_depth(self):
+        # Staged critical path exceeds the raw DAG critical path.
+        adder = cached_adder(64, False)
+        staged = list_schedule(adder.circuit, None, stages=adder.stages)
+        free = list_schedule(adder.circuit, None)
+        assert staged.makespan > free.makespan
+
+
+class TestAdderEntryPoints:
+    def test_critical_slots_grow_logarithmically(self):
+        c64 = adder_critical_slots(64)
+        c256 = adder_critical_slots(256)
+        c1024 = adder_critical_slots(1024)
+        assert c64 < c256 < c1024
+        assert c1024 < 2 * c64  # log-depth, not linear
+
+    def test_balanced_slots_bounds(self):
+        unlimited = adder_schedule(64, None)
+        assert adder_balanced_slots(64, None) == unlimited.makespan
+        k_small = adder_balanced_slots(64, 2)
+        assert k_small >= unlimited.busy // 2
+
+    def test_balanced_monotone_in_blocks(self):
+        values = [adder_balanced_slots(128, k) for k in (4, 9, 16, 36)]
+        assert values == sorted(values, reverse=True)
+
+    def test_balanced_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            adder_balanced_slots(64, 0)
+
+    def test_utilization_decreases_with_blocks(self):
+        u = [adder_balanced_utilization(256, k) for k in (4, 36, 196)]
+        assert u[0] > u[1] > u[2]
+        assert 0 < u[2] < 1
+        assert u[0] > 0.99  # work-bound regime saturates the blocks
+
+    def test_list_schedule_utilization_available(self):
+        assert 0 < adder_utilization(64, 9) <= 1
+
+
+class TestFigure2:
+    def test_fifteen_blocks_match_unlimited_for_64(self):
+        """The paper's Figure 2 claim: 15 compute blocks run the
+        64-qubit adder as fast as unlimited hardware (within a cycle)."""
+        data = parallelism_profiles(64, 15)
+        assert data["makespan_capped"] <= data["makespan_unlimited"] + 1
+
+    def test_small_cap_hurts(self):
+        data = parallelism_profiles(64, 5)
+        assert data["makespan_capped"] > 1.5 * data["makespan_unlimited"]
+
+    def test_peak_parallelism_near_width(self):
+        data = parallelism_profiles(64, 15)
+        assert max(data["unlimited"]) == 64
+
+    def test_toffoli_subcircuit_pure(self):
+        sub = toffoli_subcircuit(32)
+        assert sub.toffoli_count == len(sub)

@@ -1,0 +1,120 @@
+"""Unit tests for the stabilizer-code machinery and GF(2) helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.pauli import Pauli, enumerate_errors
+from repro.ecc.stabilizer import (
+    DecodingError,
+    StabilizerCode,
+    gf2_rank,
+    gf2_row_reduce,
+    in_gf2_rowspan,
+)
+
+
+def three_qubit_bitflip() -> StabilizerCode:
+    """The [[3,1,1]]-style repetition code (corrects X errors only)."""
+    return StabilizerCode(
+        name="3-qubit bit flip",
+        n=3,
+        k=1,
+        d=3,
+        stabilizers=[Pauli.from_label("ZZI"), Pauli.from_label("IZZ")],
+        logical_xs=[Pauli.from_label("XXX")],
+        logical_zs=[Pauli.from_label("ZII")],
+    )
+
+
+class TestGf2:
+    def test_row_reduce_identity(self):
+        m = np.eye(3, dtype=np.uint8)
+        reduced, pivots = gf2_row_reduce(m)
+        assert pivots == [0, 1, 2]
+        assert (reduced == m).all()
+
+    def test_rank_with_dependent_rows(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    def test_rowspan_membership(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        assert in_gf2_rowspan(m, np.array([1, 0, 1], dtype=np.uint8))
+        assert not in_gf2_rowspan(m, np.array([1, 0, 0], dtype=np.uint8))
+
+    def test_empty_matrix(self):
+        m = np.zeros((0, 0), dtype=np.uint8)
+        assert gf2_rank(m) == 0
+
+
+class TestValidation:
+    def test_noncommuting_stabilizers_rejected(self):
+        with pytest.raises(ValueError):
+            StabilizerCode(
+                name="bad", n=1, k=0, d=1,
+                stabilizers=[Pauli.from_label("X"), Pauli.from_label("Z")],
+                logical_xs=[], logical_zs=[],
+            )
+
+    def test_logical_pair_must_anticommute(self):
+        with pytest.raises(ValueError):
+            StabilizerCode(
+                name="bad", n=2, k=1, d=1,
+                stabilizers=[],
+                logical_xs=[Pauli.from_label("XI")],
+                logical_zs=[Pauli.from_label("IZ")],
+            )
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StabilizerCode(
+                name="bad", n=3, k=1, d=1,
+                stabilizers=[Pauli.from_label("ZZ")],
+                logical_xs=[Pauli.from_label("XXX")],
+                logical_zs=[Pauli.from_label("ZII")],
+            )
+
+
+class TestBitFlipCode:
+    def test_syndromes_distinguish_x_errors(self):
+        code = three_qubit_bitflip()
+        syndromes = {
+            code.syndrome(Pauli.single(3, q, "X")) for q in range(3)
+        }
+        assert len(syndromes) == 3
+        assert (0, 0) not in syndromes
+
+    def test_corrects_every_x_error(self):
+        code = three_qubit_bitflip()
+        for q in range(3):
+            residual, ok = code.correct(Pauli.single(3, q, "X"))
+            assert ok, f"X on qubit {q} not corrected"
+
+    def test_z_error_is_logical(self):
+        code = three_qubit_bitflip()
+        # Z errors commute with all stabilizers but are not trivial.
+        z0 = Pauli.single(3, 0, "Z")
+        assert code.syndrome(z0) == (0, 0)
+        assert code.is_logical_error(z0)
+
+    def test_identity_is_trivial(self):
+        code = three_qubit_bitflip()
+        assert code.is_trivial(Pauli.identity(3))
+        assert not code.is_logical_error(Pauli.identity(3))
+
+    def test_stabilizer_is_trivial(self):
+        code = three_qubit_bitflip()
+        assert code.is_trivial(Pauli.from_label("ZZI"))
+
+    def test_decode_unknown_syndrome(self):
+        code = three_qubit_bitflip()
+        with pytest.raises(DecodingError):
+            code.decode((1, 1, 1))  # wrong width, never in table
+
+    def test_decode_table_has_trivial_entry(self):
+        code = three_qubit_bitflip()
+        table = code.decode_table()
+        assert table[(0, 0)].is_identity()
+
+    def test_correctable_weight(self):
+        assert three_qubit_bitflip().correctable_weight == 1

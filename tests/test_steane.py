@@ -1,0 +1,82 @@
+"""Tests for the Steane [[7,1,3]] code and its encoder."""
+
+import pytest
+
+from repro.ecc.clifford import conjugate, stabilizer_group_contains
+from repro.ecc.pauli import Pauli, enumerate_errors
+from repro.ecc.steane import HAMMING_ROWS, ROW_PIVOTS, encoder_circuit, steane_code
+
+
+@pytest.fixture(scope="module")
+def code():
+    return steane_code()
+
+
+class TestStructure:
+    def test_parameters(self, code):
+        assert (code.n, code.k, code.d) == (7, 1, 3)
+        assert code.n_syndrome_bits == 6
+        assert not code.gauge_ops
+
+    def test_stabilizer_weights_are_four(self, code):
+        assert all(s.weight == 4 for s in code.stabilizers)
+
+    def test_logicals_are_weight_seven(self, code):
+        assert code.logical_xs[0].weight == 7
+        assert code.logical_zs[0].weight == 7
+
+    def test_pivots_unique_to_rows(self):
+        for row, pivot in zip(HAMMING_ROWS, ROW_PIVOTS):
+            assert pivot in row
+            for other in HAMMING_ROWS:
+                if other is not row:
+                    assert pivot not in other
+
+
+class TestCorrection:
+    def test_all_single_errors_corrected(self, code):
+        for error in enumerate_errors(7, 1):
+            residual, ok = code.correct(error)
+            assert ok, f"failed to correct {error.label()}"
+
+    def test_single_error_syndromes_distinct(self, code):
+        # CSS distance-3: all 21 single-qubit errors have distinct,
+        # non-trivial syndromes.
+        syndromes = {code.syndrome(e) for e in enumerate_errors(7, 1)}
+        assert len(syndromes) == 21
+        assert (0,) * 6 not in syndromes
+
+    def test_logical_x_undetected_but_logical(self, code):
+        lx = code.logical_xs[0]
+        assert code.syndrome(lx) == (0,) * 6
+        assert code.is_logical_error(lx)
+
+
+class TestEncoder:
+    def test_gate_budget(self):
+        gates = encoder_circuit()
+        assert len(gates) == 12
+        names = [g.name for g in gates]
+        assert names.count("H") == 3
+        assert names.count("CNOT") == 9
+
+    def test_encoder_prepares_logical_zero(self, code):
+        """Conjugate the |0...0> stabilizers (Z_i) through the encoder;
+        the resulting group must generate every code stabilizer and the
+        logical Z, all with + sign."""
+        gates = encoder_circuit()
+        conjugated = [
+            conjugate(Pauli.single(7, q, "Z"), gates) for q in range(7)
+        ]
+        for stab in code.stabilizers:
+            assert stabilizer_group_contains(conjugated, stab), (
+                f"missing stabilizer {stab.label()}"
+            )
+        assert stabilizer_group_contains(conjugated, code.logical_zs[0])
+
+    def test_encoder_does_not_produce_logical_x(self, code):
+        gates = encoder_circuit()
+        conjugated = [
+            conjugate(Pauli.single(7, q, "Z"), gates) for q in range(7)
+        ]
+        assert not stabilizer_group_contains(conjugated, code.logical_xs[0])

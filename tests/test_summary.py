@@ -1,0 +1,36 @@
+"""Tests for the headline-summary module."""
+
+import pytest
+
+from repro.analysis.summary import Headline, compute_headline, headline_text
+
+
+@pytest.fixture(scope="module")
+def headline():
+    return compute_headline()
+
+
+class TestHeadline:
+    def test_area_reduction_order_of_magnitude(self, headline):
+        assert headline.peak_area_reduction > 9.0
+
+    def test_speedup_about_eight(self, headline):
+        assert headline.peak_adder_speedup > 7.0
+
+    def test_gain_product_tens(self, headline):
+        assert headline.peak_gain_product > 30.0
+
+    def test_crossover(self, headline):
+        assert headline.superblock_crossover == 36
+
+    def test_adder_saturation(self, headline):
+        assert headline.adder64_saturating_blocks == 15
+
+    def test_no_memory_wall(self, headline):
+        assert headline.memory_wall_absent()
+        assert headline.comm_step_over_gate_step <= 1.05
+
+    def test_text_render(self, headline):
+        text = headline_text()
+        assert "Headline claims" in text
+        assert "36" in text

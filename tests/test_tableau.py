@@ -1,0 +1,147 @@
+"""Tests for the CHP stabilizer-tableau simulator."""
+
+import pytest
+
+from repro.ecc import bacon_shor, steane
+from repro.ecc.clifford import cnot, h, s, sdg, x, z
+from repro.ecc.pauli import Pauli
+from repro.ecc.tableau import Tableau
+
+
+class TestBasics:
+    def test_initial_state_measures_zero(self):
+        t = Tableau(3, seed=0)
+        assert [t.measure(q) for q in range(3)] == [0, 0, 0]
+
+    def test_x_flips_measurement(self):
+        t = Tableau(2, seed=0)
+        t.x_gate(1)
+        assert t.measure(0) == 0
+        assert t.measure(1) == 1
+
+    def test_plus_state_random_but_repeatable(self):
+        outcomes = set()
+        for seed in range(8):
+            t = Tableau(1, seed=seed)
+            t.h(0)
+            outcomes.add(t.measure(0))
+        assert outcomes == {0, 1}
+
+    def test_forced_outcome_on_random_measurement(self):
+        t = Tableau(1, seed=0)
+        t.h(0)
+        assert t.measure(0, forced=1) == 1
+
+    def test_measurement_collapses(self):
+        t = Tableau(1, seed=0)
+        t.h(0)
+        first = t.measure(0)
+        assert t.measure(0) == first  # repeated measurement agrees
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tableau(0)
+        t = Tableau(2)
+        with pytest.raises(ValueError):
+            t.stabilizer_row(2)
+
+
+class TestEntanglement:
+    def test_bell_pair_correlation(self):
+        for seed in range(6):
+            t = Tableau(2, seed=seed)
+            t.apply([h(0), cnot(0, 1)])
+            assert t.measure(0) == t.measure(1)
+
+    def test_ghz_correlation(self):
+        t = Tableau(3, seed=5)
+        t.apply([h(0), cnot(0, 1), cnot(1, 2)])
+        a = t.measure(0)
+        assert t.measure(1) == a and t.measure(2) == a
+
+    def test_ghz_stabilized_by_xxx(self):
+        t = Tableau(3, seed=1)
+        t.apply([h(0), cnot(0, 1), cnot(1, 2)])
+        assert t.stabilizes(Pauli.from_label("XXX"))
+        assert t.stabilizes(Pauli.from_label("ZZI"))
+        assert not t.stabilizes(Pauli.from_label("ZII"))
+
+
+class TestGateSemantics:
+    def test_s_squared_is_z(self):
+        t1 = Tableau(1, seed=0)
+        t1.apply([h(0), s(0), s(0), h(0)])  # H Z H = X on |0> -> |1>
+        assert t1.measure(0) == 1
+
+    def test_sdg_cancels_s(self):
+        t = Tableau(1, seed=0)
+        t.apply([h(0), s(0), sdg(0), h(0)])
+        assert t.measure(0) == 0
+
+    def test_pauli_gates_via_apply(self):
+        t = Tableau(2, seed=0)
+        t.apply([x(0), z(1)])
+        assert t.measure(0) == 1
+        assert t.measure(1) == 0
+
+    def test_apply_pauli_operator(self):
+        t = Tableau(3, seed=0)
+        t.apply_pauli(Pauli.from_label("XIX"))
+        assert [t.measure(q) for q in range(3)] == [1, 0, 1]
+
+    def test_unsupported_gate_rejected(self):
+        from repro.ecc.clifford import CliffordGate
+
+        t = Tableau(2)
+        # Bypass CliffordGate validation to smuggle in an unknown name.
+        bad = CliffordGate.__new__(CliffordGate)
+        object.__setattr__(bad, "name", "T")
+        object.__setattr__(bad, "qubits", (0,))
+        with pytest.raises(ValueError):
+            t.apply([bad])
+
+
+class TestCodeStates:
+    def test_steane_encoder_state(self):
+        t = Tableau(7, seed=0)
+        t.apply(steane.encoder_circuit())
+        code = steane.steane_code()
+        for stab in code.stabilizers:
+            assert t.stabilizes(stab)
+        assert t.stabilizes(code.logical_zs[0])
+        assert not t.stabilizes(code.logical_xs[0])
+
+    def test_bacon_shor_encoder_state(self):
+        t = Tableau(9, seed=0)
+        t.apply(bacon_shor.encoder_circuit())
+        code = bacon_shor.bacon_shor_code()
+        for stab in code.stabilizers:
+            assert t.stabilizes(stab)
+        assert t.stabilizes(code.logical_zs[0])
+
+    def test_error_breaks_stabilization(self):
+        t = Tableau(7, seed=0)
+        t.apply(steane.encoder_circuit())
+        t.apply_pauli(Pauli.single(7, 3, "X"))
+        code = steane.steane_code()
+        broken = sum(0 if t.stabilizes(s) else 1 for s in code.stabilizers)
+        assert broken > 0
+
+    def test_syndrome_extraction_via_observable_measurement(self):
+        """Measure each stabilizer on an erred code state: outcomes must
+        equal the algebraic syndrome."""
+        code = steane.steane_code()
+        error = Pauli.single(7, 5, "Z")
+        t = Tableau(7, seed=2)
+        t.apply(steane.encoder_circuit())
+        t.apply_pauli(error)
+        syndrome = code.syndrome(error)
+        for stab, expected in zip(code.stabilizers, syndrome):
+            assert t.measure_observable(stab) == expected
+
+    def test_copy_independence(self):
+        t = Tableau(2, seed=0)
+        t.h(0)
+        clone = t.copy()
+        clone.x_gate(1)
+        assert t.measure(1) == 0

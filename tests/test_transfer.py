@@ -1,0 +1,104 @@
+"""Tests for the code-transfer network against the paper's Table 3."""
+
+import pytest
+
+from repro.analysis import paper_values
+from repro.ecc.transfer import (
+    CodePoint,
+    TransferNetwork,
+    standard_points,
+    transfer_matrix,
+    transfer_time_s,
+)
+
+
+class TestCodePoint:
+    def test_labels(self):
+        assert CodePoint("steane", 1).label == "7-L1"
+        assert CodePoint("bacon_shor", 2).label == "9-L2"
+
+    def test_rejects_unencoded(self):
+        with pytest.raises(ValueError):
+            CodePoint("steane", 0)
+
+    def test_standard_points(self):
+        labels = [p.label for p in standard_points()]
+        assert labels == ["7-L1", "7-L2", "9-L1", "9-L2"]
+
+
+class TestTransferTimes:
+    def test_diagonal_is_zero(self):
+        for p in standard_points():
+            assert transfer_time_s(p, p) == 0.0
+
+    def test_matrix_complete(self):
+        matrix = transfer_matrix()
+        assert len(matrix) == 16
+
+    def test_matches_paper_within_rounding(self):
+        """15 of 16 published cells within 35%; the one documented
+        outlier (9-L1 -> 9-L2) within a factor of 2.2."""
+        matrix = transfer_matrix()
+        outliers = []
+        for key, paper in paper_values.TRANSFER_S.items():
+            ours = matrix[key]
+            if paper == 0.0:
+                assert ours == 0.0
+                continue
+            ratio = ours / paper
+            if not 0.65 <= ratio <= 1.35:
+                outliers.append((key, ratio))
+        assert len(outliers) <= 1, f"too many deviating cells: {outliers}"
+        for key, ratio in outliers:
+            assert 0.45 <= ratio <= 2.2
+
+    def test_demotion_costlier_than_promotion(self):
+        # Leaving level 2 costs 4 EC(L2); entering costs 2 EC(L2).
+        for code in ("steane", "bacon_shor"):
+            down = transfer_time_s(CodePoint(code, 2), CodePoint(code, 1))
+            up = transfer_time_s(CodePoint(code, 1), CodePoint(code, 2))
+            assert down > up
+
+    def test_source_destination_decomposition(self):
+        # T(a->b) + T(b->a) is symmetric under exchanging endpoints.
+        a, b = CodePoint("steane", 2), CodePoint("bacon_shor", 1)
+        round_trip = transfer_time_s(a, b) + transfer_time_s(b, a)
+        reverse = transfer_time_s(b, a) + transfer_time_s(a, b)
+        assert round_trip == pytest.approx(reverse)
+
+
+class TestTransferNetwork:
+    def test_effective_concurrency_steane(self):
+        net = TransferNetwork("steane", parallel_transfers=10)
+        assert net.effective_concurrency == 10.0
+
+    def test_effective_concurrency_bacon_shor(self):
+        # Bacon-Shor needs three channels per transfer (Section 5.1).
+        net = TransferNetwork("bacon_shor", parallel_transfers=10)
+        assert net.effective_concurrency == pytest.approx(10 / 3)
+
+    def test_batch_times_scale_with_waves(self):
+        net = TransferNetwork("steane", parallel_transfers=5)
+        one_wave = net.batch_demote_time_s(5)
+        two_waves = net.batch_demote_time_s(6)
+        assert two_waves == pytest.approx(2 * one_wave)
+
+    def test_zero_batch_is_free(self):
+        net = TransferNetwork("steane")
+        assert net.batch_demote_time_s(0) == 0.0
+        assert net.batch_promote_time_s(0) == 0.0
+
+    def test_negative_batch_rejected(self):
+        net = TransferNetwork("steane")
+        with pytest.raises(ValueError):
+            net.batch_demote_time_s(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferNetwork("steane", parallel_transfers=0)
+
+    def test_demote_promote_match_matrix(self):
+        net = TransferNetwork("steane")
+        matrix = transfer_matrix()
+        assert net.demote_time_s == pytest.approx(matrix[("7-L2", "7-L1")])
+        assert net.promote_time_s == pytest.approx(matrix[("7-L1", "7-L2")])
