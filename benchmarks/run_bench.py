@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Machine-readable benchmark runner for the perf trajectory.
+
+Times the named hot-path kernels (and, optionally, the whole
+pytest-benchmark suite) and writes ``BENCH_<timestamp>.json`` mapping
+kernel name -> seconds, so successive PRs can compare before/after
+numbers mechanically::
+
+    PYTHONPATH=src python benchmarks/run_bench.py              # kernels
+    PYTHONPATH=src python benchmarks/run_bench.py --quick      # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --pytest     # + suite
+
+The kernel set covers the two acceptance-criteria paths (optimized
+fetch on the 1024-bit Draper adder, 4000-trial Monte Carlo decoding)
+plus the Table 4/5 sweeps that sit on top of them.  Each kernel runs in
+a fresh in-process state (module caches are cleared where they exist)
+so the numbers reflect cold-path cost, not memoization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime
+from pathlib import Path
+
+
+def _bench_fetch(n_bits: int, capacity: int = 243):
+    from repro.sim.cache import simulate_optimized
+    from repro.sim.scheduler import _adder_circuit
+
+    circuit = _adder_circuit(n_bits, False)
+
+    def run():
+        return simulate_optimized(circuit, capacity)
+
+    return run
+
+
+def _bench_mc(code_key: str, trials: int):
+    from repro.ecc.bacon_shor import bacon_shor_code
+    from repro.ecc.montecarlo import logical_error_rate
+    from repro.ecc.steane import steane_code
+
+    code = {"steane": steane_code, "bacon_shor": bacon_shor_code}[code_key]()
+    code.decode_table()  # table build is one-time setup, not the kernel
+
+    def run():
+        return logical_error_rate(code, 0.01, trials=trials, seed=11)
+
+    return run
+
+
+def _bench_hierarchy_sweep():
+    from repro.core.design_space import hierarchy_sweep
+
+    def run():
+        return hierarchy_sweep()
+
+    return run
+
+
+def _bench_specialization_sweep():
+    from repro.core.design_space import specialization_sweep
+
+    def run():
+        return specialization_sweep()
+
+    return run
+
+
+def _clear_memo_state() -> None:
+    """Reset in-process caches so every kernel times the cold path."""
+    try:
+        from repro.sim import hierarchy_sim
+
+        hierarchy_sim.l1_speedup.cache_clear()
+    except Exception:
+        pass
+    try:
+        from repro.perf.memo import default_cache
+
+        default_cache().clear_memory()
+    except Exception:
+        # Seed tree (pre repro.perf) — nothing to clear.
+        pass
+
+
+def kernel_set(quick: bool):
+    if quick:
+        return {
+            "fetch_optimized_128": _bench_fetch(128),
+            "mc_steane_500": _bench_mc("steane", 500),
+        }
+    return {
+        "fetch_optimized_256": _bench_fetch(256),
+        "fetch_optimized_1024": _bench_fetch(1024),
+        "mc_steane_4000": _bench_mc("steane", 4000),
+        "mc_bacon_shor_4000": _bench_mc("bacon_shor", 4000),
+        "specialization_sweep": _bench_specialization_sweep(),
+        "hierarchy_sweep": _bench_hierarchy_sweep(),
+    }
+
+
+def time_kernels(quick: bool, repeats: int) -> dict:
+    results: dict = {}
+    for name, fn in kernel_set(quick).items():
+        best = None
+        for _ in range(repeats):
+            _clear_memo_state()
+            t0 = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        results[name] = best
+        print(f"  {name:28s} {best:9.4f} s")
+    return results
+
+
+def run_pytest_suite(out: dict) -> None:
+    """Run the pytest-benchmark suite, folding mean times into ``out``."""
+    tmp = Path("benchmarks") / ".pytest_bench.json"
+    cmd = [
+        sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
+        "-q", f"--benchmark-json={tmp}",
+    ]
+    print(f"  running: {' '.join(cmd)}")
+    subprocess.run(cmd, check=True)
+    data = json.loads(tmp.read_text())
+    for bench in data.get("benchmarks", []):
+        out[f"pytest::{bench['name']}"] = bench["stats"]["mean"]
+    tmp.unlink(missing_ok=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small kernel sizes for CI smoke runs")
+    parser.add_argument("--pytest", action="store_true",
+                        help="also run the pytest-benchmark suite")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per kernel (best-of)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="output path (default BENCH_<timestamp>.json)")
+    args = parser.parse_args(argv)
+
+    # The point of these numbers is the cold-path kernel cost: drop any
+    # ambient persistent-cache directory before the lazily-built default
+    # cache can pick it up (this also propagates to the pytest
+    # subprocess), and _clear_memo_state wipes the memory tier between
+    # repeats.
+    if os.environ.pop("REPRO_CACHE_DIR", None) is not None:
+        print("note: ignoring REPRO_CACHE_DIR — benchmarks time the cold path")
+
+    print("timing kernels...")
+    kernels = time_kernels(args.quick, max(1, args.repeats))
+    if args.pytest:
+        run_pytest_suite(kernels)
+
+    stamp = datetime.now().strftime("%Y%m%d_%H%M%S")
+    path = args.output or Path(f"BENCH_{stamp}.json")
+    payload = {
+        "meta": {
+            "timestamp": stamp,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+        },
+        "kernels": kernels,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,11 @@ verbatim; other sizes fall back to the nearest-square rule.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..perf.memo import resolve_cache, stable_key
+from ..perf.parallel import parallel_map
 from .cqla import CqlaDesign
 from .hierarchy import MemoryHierarchy
 
@@ -56,24 +58,53 @@ class SpecializationRow:
     gain_product: float
 
 
+def _specialization_cell(cell: Tuple[int, int, str]) -> SpecializationRow:
+    """One Table 4 cell; module-level so worker processes can pickle it."""
+    n_bits, n_blocks, code_key = cell
+    design = CqlaDesign(code_key, n_bits, n_blocks)
+    return SpecializationRow(
+        n_bits=n_bits,
+        n_blocks=n_blocks,
+        code_key=code_key,
+        area_reduction=design.area_reduction(),
+        speedup=design.speedup(),
+        gain_product=design.gain_product(),
+    )
+
+
 def specialization_sweep(
     sizes: Sequence[int] = PAPER_INPUT_SIZES,
     code_keys: Sequence[str] = ("steane", "bacon_shor"),
+    *,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> List[SpecializationRow]:
-    """Evaluate every Table 4 cell."""
-    rows: List[SpecializationRow] = []
-    for n_bits in sizes:
-        for n_blocks in block_choices(n_bits):
-            for code_key in code_keys:
-                design = CqlaDesign(code_key, n_bits, n_blocks)
-                rows.append(SpecializationRow(
-                    n_bits=n_bits,
-                    n_blocks=n_blocks,
-                    code_key=code_key,
-                    area_reduction=design.area_reduction(),
-                    speedup=design.speedup(),
-                    gain_product=design.gain_product(),
-                ))
+    """Evaluate every Table 4 cell.
+
+    ``workers=N`` fans the independent cells out over a process pool;
+    ``cache`` memoizes the whole sweep (see
+    :func:`repro.perf.memo.resolve_cache` for accepted values).
+    """
+    memo = resolve_cache(cache)
+    key = stable_key(
+        "specialization_sweep", sizes=list(sizes), code_keys=list(code_keys)
+    )
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            try:
+                return [SpecializationRow(**row) for row in hit]
+            except TypeError:
+                pass  # malformed persisted entry: fall through, recompute
+    cells = [
+        (n_bits, n_blocks, code_key)
+        for n_bits in sizes
+        for n_blocks in block_choices(n_bits)
+        for code_key in code_keys
+    ]
+    rows = parallel_map(_specialization_cell, cells, workers=workers)
+    if memo is not None:
+        memo.put(key, [asdict(row) for row in rows])
     return rows
 
 
@@ -91,28 +122,56 @@ class HierarchyRow:
     gain_product: float
 
 
+def _hierarchy_cell(cell: Tuple[str, int, int]) -> HierarchyRow:
+    """One Table 5 cell; module-level so worker processes can pickle it."""
+    code_key, par, n_bits = cell
+    design = CqlaDesign(code_key, n_bits, performance_blocks(n_bits))
+    hierarchy = MemoryHierarchy(design, parallel_transfers=par)
+    return HierarchyRow(
+        code_key=code_key,
+        parallel_transfers=par,
+        n_bits=n_bits,
+        l1_speedup=hierarchy.l1_speedup(),
+        l2_speedup=hierarchy.l2_speedup(),
+        adder_speedup=hierarchy.adder_speedup(),
+        area_reduction=design.area_reduction(),
+        gain_product=hierarchy.gain_product(),
+    )
+
+
 def hierarchy_sweep(
     sizes: Sequence[int] = (256, 512, 1024),
     code_keys: Sequence[str] = ("steane", "bacon_shor"),
     transfer_options: Sequence[int] = (10, 5),
+    *,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> List[HierarchyRow]:
-    """Evaluate every Table 5 cell."""
-    rows: List[HierarchyRow] = []
-    for code_key in code_keys:
-        for par in transfer_options:
-            for n_bits in sizes:
-                design = CqlaDesign(
-                    code_key, n_bits, performance_blocks(n_bits)
-                )
-                hierarchy = MemoryHierarchy(design, parallel_transfers=par)
-                rows.append(HierarchyRow(
-                    code_key=code_key,
-                    parallel_transfers=par,
-                    n_bits=n_bits,
-                    l1_speedup=hierarchy.l1_speedup(),
-                    l2_speedup=hierarchy.l2_speedup(),
-                    adder_speedup=hierarchy.adder_speedup(),
-                    area_reduction=design.area_reduction(),
-                    gain_product=hierarchy.gain_product(),
-                ))
+    """Evaluate every Table 5 cell.
+
+    ``workers=N`` fans the independent cells out over a process pool;
+    ``cache`` memoizes the whole sweep (see
+    :func:`repro.perf.memo.resolve_cache` for accepted values).
+    """
+    memo = resolve_cache(cache)
+    key = stable_key(
+        "hierarchy_sweep", sizes=list(sizes), code_keys=list(code_keys),
+        transfer_options=list(transfer_options),
+    )
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            try:
+                return [HierarchyRow(**row) for row in hit]
+            except TypeError:
+                pass  # malformed persisted entry: fall through, recompute
+    cells = [
+        (code_key, par, n_bits)
+        for code_key in code_keys
+        for par in transfer_options
+        for n_bits in sizes
+    ]
+    rows = parallel_map(_hierarchy_cell, cells, workers=workers)
+    if memo is not None:
+        memo.put(key, [asdict(row) for row in rows])
     return rows

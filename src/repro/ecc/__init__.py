@@ -18,7 +18,13 @@ from .fault_injection import (
     inject_encoder_faults,
     steane_encoder_injection,
 )
-from .montecarlo import MonteCarloResult, logical_error_rate, pseudo_threshold
+from .montecarlo import (
+    MonteCarloResult,
+    logical_error_rate,
+    logical_error_rate_reference,
+    pseudo_threshold,
+    sample_depolarizing_batch,
+)
 from .tableau import Tableau
 from .pauli import Pauli, enumerate_errors
 from .schedule import (
@@ -28,7 +34,7 @@ from .schedule import (
     l1_syndrome_cycles,
     steane_syndrome_schedule,
 )
-from .stabilizer import DecodingError, StabilizerCode
+from .stabilizer import BatchDecoder, DecodingError, StabilizerCode
 from .steane import steane_code
 from .transfer import (
     CodePoint,
@@ -44,6 +50,7 @@ __all__ = [
     "CliffordGate",
     "CodePoint",
     "CodeSpec",
+    "BatchDecoder",
     "ConcatenatedCode",
     "DecodingError",
     "InjectionResult",
@@ -68,7 +75,9 @@ __all__ = [
     "l1_ec_cycles",
     "l1_syndrome_cycles",
     "logical_error_rate",
+    "logical_error_rate_reference",
     "pseudo_threshold",
+    "sample_depolarizing_batch",
     "s",
     "sdg",
     "standard_points",

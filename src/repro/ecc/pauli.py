@@ -158,6 +158,36 @@ def symplectic_matrix(paulis: Iterable[Pauli]) -> np.ndarray:
     return np.vstack(rows)
 
 
+def symplectic_gram(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """GF(2) anticommutation matrix between two symplectic batches.
+
+    ``left`` is ``(a, 2n)`` and ``right`` is ``(b, 2n)``; entry ``[i, j]``
+    is 1 iff row ``i`` of ``left`` anticommutes with row ``j`` of
+    ``right``.  This is the batched form of :meth:`Pauli.commutes_with`:
+    one integer matrix product replaces ``a * b`` Python-level symplectic
+    inner products, which is what makes whole-batch syndrome extraction
+    a single matmul.
+    """
+    left = np.atleast_2d(np.asarray(left, dtype=np.uint8))
+    right = np.atleast_2d(np.asarray(right, dtype=np.uint8))
+    if left.shape[1] != right.shape[1] or left.shape[1] % 2:
+        raise ValueError("symplectic batches must share an even width")
+    n = left.shape[1] // 2
+    # Swap the halves of ``right`` so a plain dot product computes the
+    # symplectic form x1.z2 + z1.x2.
+    swapped = np.hstack([right[:, n:], right[:, :n]])
+    return (left.astype(np.int64) @ swapped.T.astype(np.int64)) & 1
+
+
+def batch_weights(batch: np.ndarray) -> np.ndarray:
+    """Pauli weights of each row of a ``(trials, 2n)`` symplectic batch."""
+    batch = np.atleast_2d(np.asarray(batch, dtype=np.uint8))
+    if batch.shape[1] % 2:
+        raise ValueError("symplectic batch must have even width")
+    n = batch.shape[1] // 2
+    return ((batch[:, :n] | batch[:, n:]) != 0).sum(axis=1)
+
+
 def enumerate_errors(n: int, max_weight: int) -> Iterator[Pauli]:
     """All non-identity Paulis on ``n`` qubits of weight <= max_weight.
 

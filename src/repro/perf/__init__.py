@@ -1,0 +1,27 @@
+"""Performance infrastructure: persistent memoization and fan-out.
+
+The design-space sweeps (Tables 4 and 5) and the hierarchy simulator
+evaluate many independent, deterministic cells; this subsystem supplies
+the two generic accelerators they share:
+
+* :mod:`repro.perf.memo` — a config-hash -> result memoization layer
+  with an in-process LRU in front of an optional JSON file cache, so
+  repeated sweeps (within one process or across runs) pay for each cell
+  once;
+* :mod:`repro.perf.parallel` — an opt-in ``workers=N`` process-pool map
+  for the embarrassingly parallel sweep cells.
+
+Both are policy-free: callers pass ``cache=`` / ``workers=`` knobs and
+get identical numeric results either way.
+"""
+
+from .memo import SweepCache, default_cache, resolve_cache, stable_key
+from .parallel import parallel_map
+
+__all__ = [
+    "SweepCache",
+    "default_cache",
+    "parallel_map",
+    "resolve_cache",
+    "stable_key",
+]

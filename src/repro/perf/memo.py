@@ -1,0 +1,223 @@
+"""Persistent memoization for deterministic sweep kernels.
+
+A :class:`SweepCache` maps a stable hash of a configuration to its
+JSON-serializable result, with two storage tiers:
+
+* an in-process LRU (always on) — repeated sweeps inside one process
+  (tables, sensitivity studies, benchmarks) evaluate each cell once;
+* an optional on-disk JSON file per entry — results survive across
+  processes, so regenerating the paper's tables after the first run
+  costs milliseconds.
+
+Keys are built by :func:`stable_key` from the kernel name plus its full
+parameter tuple; anything that changes the numeric result must be part
+of the key.  A global format version is folded into every hash so a
+layout change silently invalidates stale files instead of decoding them
+wrongly.
+
+The disk tier is opt-in: pass a directory to :class:`SweepCache`, or
+set ``REPRO_CACHE_DIR`` to give :func:`default_cache` one.  Values must
+round-trip through ``json`` — callers serialize dataclass rows with
+``dataclasses.asdict`` and rebuild on the way out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Optional, Union
+
+#: Bump to invalidate every previously persisted entry (format changes).
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _code_version() -> str:
+    """The package version, folded into every key.
+
+    A release bump therefore invalidates all persisted entries; edits
+    that change numeric results without a version bump still require
+    bumping :data:`CACHE_FORMAT_VERSION` (or clearing the directory).
+    """
+    try:
+        from .. import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - partially initialized package
+        return "unknown"
+
+
+def stable_key(kernel: str, /, **params: Any) -> str:
+    """Deterministic hex key for one kernel configuration.
+
+    Parameters are JSON-encoded with sorted keys; non-JSON values fall
+    back to ``repr``, so callers should stick to primitives, tuples and
+    lists to keep keys stable across processes.  The cache format
+    version and the package version are folded into every key, so both
+    format changes and releases invalidate stale persisted entries.
+    """
+    payload = json.dumps(
+        {
+            "v": CACHE_FORMAT_VERSION,
+            "code": _code_version(),
+            "kernel": kernel,
+            "params": params,
+        },
+        sort_keys=True, default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
+
+
+class SweepCache:
+    """Two-tier (memory LRU + JSON files) result cache."""
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        max_memory_entries: int = 512,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("memory tier needs at least one slot")
+        self.directory = Path(directory) if directory is not None else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, key: str) -> Optional[Any]:
+        """Cached value for ``key``, or None.  Checks memory, then disk."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return self._memory[key]
+        value = self._read_disk(key)
+        if value is not None:
+            with self._lock:
+                self._remember(key, value)
+                self.hits += 1
+            return value
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a JSON-serializable value in both tiers."""
+        with self._lock:
+            self._remember(key, value)
+        self._write_disk(key, value)
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- disk tier -------------------------------------------------------
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[Any]:
+        path = self._path(key)
+        if path is None:
+            return None
+        try:
+            return json.loads(path.read_text())["value"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _write_disk(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        try:
+            encoded = json.dumps({"value": value})
+        except TypeError:
+            # Un-serializable values degrade the disk tier to a no-op;
+            # the memory tier already has the entry.
+            return
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # A per-writer temp name keeps concurrent put()s of the same
+            # key from clobbering each other's half-written file; the
+            # final os.replace is atomic.
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.write(encoded)
+            os.replace(tmp, path)
+        except OSError:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    # -- maintenance -----------------------------------------------------
+    def clear_memory(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def clear(self) -> None:
+        """Drop both tiers (disk files only under our directory)."""
+        self.clear_memory()
+        if self.directory is not None and self.directory.is_dir():
+            for entry in self.directory.glob("*.json"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+
+_default: Optional[SweepCache] = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> SweepCache:
+    """Process-wide cache; disk tier enabled iff ``REPRO_CACHE_DIR`` set."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = SweepCache(directory=os.environ.get(CACHE_DIR_ENV))
+        return _default
+
+
+def resolve_cache(
+    cache: Union[None, bool, str, Path, SweepCache]
+) -> Optional[SweepCache]:
+    """Normalize the ``cache=`` knob the sweeps expose.
+
+    ``None`` -> the process-wide default; ``False`` -> caching disabled;
+    a path -> a disk-backed cache rooted there; a :class:`SweepCache` ->
+    itself.
+    """
+    if cache is None:
+        return default_cache()
+    if cache is False:
+        return None
+    if cache is True:
+        return default_cache()
+    if isinstance(cache, (str, Path)):
+        return SweepCache(directory=cache)
+    if isinstance(cache, SweepCache):
+        return cache
+    raise TypeError(f"cannot interpret cache={cache!r}")

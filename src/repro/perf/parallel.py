@@ -1,0 +1,40 @@
+"""Opt-in process-pool fan-out for embarrassingly parallel sweep cells.
+
+Every design-space cell is pure and independent, so the sweeps can hand
+their cell list to :func:`parallel_map` with ``workers=N`` and fan out
+across processes.  The default (``workers=None``/``0``/``1``) stays
+serial — no pool start-up cost, identical results, and the in-process
+memoization tier keeps working.  Cell functions must be module-level
+(picklable) and their results deterministic, so serial and parallel
+runs are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """``[fn(x) for x in items]``, optionally across a process pool.
+
+    Results keep the input order in both modes.  ``workers`` of None, 0
+    or 1 runs serially in-process; larger values use a
+    ``ProcessPoolExecutor`` capped at the number of items.
+    """
+    cells = list(items)
+    if workers is not None and workers < 0:
+        raise ValueError("workers cannot be negative")
+    if not workers or workers <= 1 or len(cells) <= 1:
+        return [fn(cell) for cell in cells]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        return list(pool.map(fn, cells, chunksize=max(1, chunksize)))

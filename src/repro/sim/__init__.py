@@ -8,6 +8,7 @@ from .cache import (
     hit_rate_study,
     simulate_in_order,
     simulate_optimized,
+    simulate_optimized_reference,
 )
 from .comm import (
     CommBreakdown,
@@ -55,5 +56,6 @@ __all__ = [
     "simulate_in_order",
     "simulate_l1_run",
     "simulate_optimized",
+    "simulate_optimized_reference",
     "superblock_bandwidth_per_period",
 ]

@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import List, Optional
 
 from ..circuits.circuit import Circuit
 from ..ecc.concatenated import by_key
 from ..ecc.transfer import TransferNetwork
+from ..perf.memo import resolve_cache, stable_key
 from .cache import LruCache, simulate_optimized
 from .scheduler import _adder_circuit
 
@@ -66,6 +67,7 @@ def simulate_l1_run(
     compute_qubits: int = DEFAULT_COMPUTE_QUBITS,
     cache_factor: float = 2.0,
     circuit: Optional[Circuit] = None,
+    cache=None,
 ) -> HierarchyRunResult:
     """Simulate one adder at level 1 behind the transfer network.
 
@@ -75,7 +77,49 @@ def simulate_l1_run(
     demotion (memory -> cache) and the paired promotion of the evicted
     qubit; the instruction waits for its operands' arrivals, while
     computation on already-resident operands continues to overlap.
+
+    Runs with the default adder circuit are memoized through
+    :mod:`repro.perf.memo` (keyed on every parameter that affects the
+    result); pass ``cache=False`` to force a fresh simulation, or an
+    explicit :class:`~repro.perf.memo.SweepCache` / directory to control
+    where results persist.  Caller-supplied circuits bypass the cache —
+    there is no stable key for an arbitrary gate list.
     """
+    if circuit is not None:
+        return _simulate_l1_run_uncached(
+            code_key, n_bits, parallel_transfers, compute_qubits,
+            cache_factor, circuit,
+        )
+    memo = resolve_cache(cache)
+    key = stable_key(
+        "simulate_l1_run", code_key=code_key, n_bits=n_bits,
+        parallel_transfers=parallel_transfers,
+        compute_qubits=compute_qubits, cache_factor=cache_factor,
+    )
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            try:
+                return HierarchyRunResult(**hit)
+            except TypeError:
+                pass  # malformed persisted entry: fall through, recompute
+    result = _simulate_l1_run_uncached(
+        code_key, n_bits, parallel_transfers, compute_qubits,
+        cache_factor, None,
+    )
+    if memo is not None:
+        memo.put(key, asdict(result))
+    return result
+
+
+def _simulate_l1_run_uncached(
+    code_key: str,
+    n_bits: int,
+    parallel_transfers: int,
+    compute_qubits: int,
+    cache_factor: float,
+    circuit: Optional[Circuit],
+) -> HierarchyRunResult:
     code = by_key(code_key)
     network = TransferNetwork(
         code_key=code_key, parallel_transfers=parallel_transfers
@@ -143,8 +187,17 @@ def l1_speedup(
     code_key: str,
     n_bits: int,
     parallel_transfers: int = 10,
+    compute_qubits: int = DEFAULT_COMPUTE_QUBITS,
+    cache_factor: float = 2.0,
 ) -> float:
-    """Cached Table 5 "L1 SpeedUp" for one configuration."""
+    """Cached Table 5 "L1 SpeedUp" for one configuration.
+
+    Every input that affects the result is an explicit parameter of the
+    cached function — ``compute_qubits`` and ``cache_factor`` included —
+    so callers varying them can never receive a stale entry keyed only
+    on the first three arguments.
+    """
     return simulate_l1_run(
-        code_key, n_bits, parallel_transfers=parallel_transfers
+        code_key, n_bits, parallel_transfers=parallel_transfers,
+        compute_qubits=compute_qubits, cache_factor=cache_factor,
     ).l1_speedup
