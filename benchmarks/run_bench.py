@@ -65,6 +65,38 @@ def _bench_hierarchy_sweep():
     return run
 
 
+def _bench_engine(n_bits: int, depth: int = 3):
+    """The generalized hierarchy engine: a 3-level stack under every
+    registered eviction policy on one adder workload."""
+    from repro.circuits.workloads import build_workload
+    from repro.core.design_space import (
+        ENGINE_CACHE_FACTOR,
+        ENGINE_COMPUTE_QUBITS,
+    )
+    from repro.sim.levels import simulate_hierarchy_run, standard_stack
+    from repro.sim.policies import available_policies
+
+    from repro.sim.cache import simulate_optimized
+
+    circuit = build_workload("draper_adder", n_bits)
+    stack = standard_stack("steane", depth,
+                           compute_qubits=ENGINE_COMPUTE_QUBITS,
+                           cache_factor=ENGINE_CACHE_FACTOR)
+    policies = available_policies()
+    # The fetch schedule is policy-independent one-time setup; without
+    # it the kernel would mostly time the scheduler, not the engine.
+    order = simulate_optimized(circuit, stack.levels[0].capacity).order
+
+    def run():
+        return [
+            simulate_hierarchy_run(stack, circuit, policy=policy,
+                                   order=order)
+            for policy in policies
+        ]
+
+    return run
+
+
 def _bench_specialization_sweep():
     from repro.core.design_space import specialization_sweep
 
@@ -91,11 +123,27 @@ def _clear_memo_state() -> None:
         pass
 
 
+def _times(fn, n: int):
+    """Loop a kernel so its best-of time is large against timer noise
+    and the baseline gate's absolute slack."""
+    def run():
+        result = None
+        for _ in range(n):
+            result = fn()
+        return result
+    return run
+
+
 def kernel_set(quick: bool):
     if quick:
+        # Quick kernels are looped to >= ~0.1 s apiece: the baseline
+        # regression gate adds a small absolute slack, and a
+        # millisecond-scale kernel would let multi-x slowdowns hide
+        # inside it.
         return {
-            "fetch_optimized_128": _bench_fetch(128),
-            "mc_steane_500": _bench_mc("steane", 500),
+            "fetch_optimized_1024_x4": _times(_bench_fetch(1024), 4),
+            "mc_steane_2000_x8": _times(_bench_mc("steane", 2000), 8),
+            "engine_3level_policies_512": _bench_engine(512),
         }
     return {
         "fetch_optimized_256": _bench_fetch(256),
@@ -104,6 +152,7 @@ def kernel_set(quick: bool):
         "mc_bacon_shor_4000": _bench_mc("bacon_shor", 4000),
         "specialization_sweep": _bench_specialization_sweep(),
         "hierarchy_sweep": _bench_hierarchy_sweep(),
+        "engine_3level_policies_256": _bench_engine(256),
     }
 
 
@@ -120,6 +169,107 @@ def time_kernels(quick: bool, repeats: int) -> dict:
         results[name] = best
         print(f"  {name:28s} {best:9.4f} s")
     return results
+
+
+def calibration_seconds() -> float:
+    """Time a fixed pure-python workload to normalize across machines.
+
+    Baseline JSONs are committed from one machine and checked on
+    another (CI runners), so raw kernel seconds are not comparable.
+    Scaling the baseline by the ratio of this deterministic spin on
+    both machines turns the check into a same-machine comparison to
+    first order.
+    """
+    best = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i * i
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def calibration_numpy_seconds() -> float:
+    """Time a fixed NumPy workload (matmul-bound, like the Monte Carlo
+    kernels).  Interpreter speed and BLAS throughput vary independently
+    across machines, so the gate scales by whichever calibration makes
+    the limit more lenient — a fast interpreter with ordinary BLAS must
+    not shrink the limit of a NumPy-bound kernel."""
+    import numpy as np
+
+    a = np.arange(300 * 300, dtype=np.float64).reshape(300, 300) % 7.0
+    best = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(10):
+            a = (a @ a) % 7.0
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+#: Absolute grace added to every baseline limit: timer noise can
+#: exceed any relative tolerance on a too-small kernel.  Kept small
+#: relative to the quick kernels (>= ~0.1 s) so the relative tolerance
+#: remains the binding constraint.
+BASELINE_SLACK_S = 0.01
+
+
+def check_baseline(
+    kernels: dict,
+    calibration: float,
+    baseline_path: Path,
+    tolerance: float,
+    calibration_numpy: float = None,
+) -> int:
+    """Compare kernel times against a committed baseline JSON.
+
+    Returns the number of kernels slower than ``baseline * scale *
+    (1 + tolerance) + slack``, where ``scale`` normalizes for machine
+    speed via the calibration workloads and ``slack`` absorbs absolute
+    timer noise on tiny kernels.  The kernels mix interpreter-bound
+    and NumPy-bound work, and those speeds vary independently across
+    machines, so ``scale`` is the *most lenient* of the python and
+    NumPy calibration ratios — a machine that is only faster at one of
+    them must never shrink the other kind of kernel's limit into a
+    false regression.  A kernel new to this run is reported but not
+    failed (it needs a baseline refresh, not a red build); a baseline
+    kernel *missing* from the run counts as a failure — otherwise
+    renaming or dropping a gated kernel would silently disable its
+    regression coverage.
+    """
+    data = json.loads(baseline_path.read_text())
+    base_kernels = data.get("kernels", {})
+    meta = data.get("meta", {})
+    ratios = []
+    if meta.get("calibration_s"):
+        ratios.append(calibration / meta["calibration_s"])
+    if meta.get("calibration_numpy_s") and calibration_numpy:
+        ratios.append(calibration_numpy / meta["calibration_numpy_s"])
+    scale = max(ratios) if ratios else 1.0
+    print(f"baseline check vs {baseline_path} "
+          f"(machine scale {scale:.2f}x, tolerance {tolerance:.0%})")
+    failures = 0
+    for name in sorted(set(base_kernels) | set(kernels)):
+        if name not in kernels:
+            print(f"  {name:28s} MISSING from this run — refresh the "
+                  f"baseline JSON if the kernel was renamed or removed")
+            failures += 1
+            continue
+        if name not in base_kernels:
+            print(f"  {name:28s} new kernel, no baseline — refresh the "
+                  f"baseline JSON to track it")
+            continue
+        limit = (base_kernels[name] * scale * (1.0 + tolerance)
+                 + BASELINE_SLACK_S)
+        actual = kernels[name]
+        verdict = "ok" if actual <= limit else "REGRESSION"
+        print(f"  {name:28s} {actual:9.4f} s (limit {limit:9.4f} s) {verdict}")
+        if actual > limit:
+            failures += 1
+    return failures
 
 
 def run_pytest_suite(out: dict) -> None:
@@ -147,7 +297,17 @@ def main(argv=None) -> int:
                         help="timing repeats per kernel (best-of)")
     parser.add_argument("--output", type=Path, default=None,
                         help="output path (default BENCH_<timestamp>.json)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline JSON to regress against; "
+                             "exit 1 if any kernel is slower than the "
+                             "calibration-scaled baseline by more than "
+                             "--tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown over baseline (default 0.25)")
     args = parser.parse_args(argv)
+    if args.baseline is not None and not args.baseline.is_file():
+        # Fail in milliseconds, not after minutes of kernel timing.
+        parser.error(f"baseline file not found: {args.baseline}")
 
     # The point of these numbers is the cold-path kernel cost: drop any
     # ambient persistent-cache directory before the lazily-built default
@@ -161,6 +321,8 @@ def main(argv=None) -> int:
     kernels = time_kernels(args.quick, max(1, args.repeats))
     if args.pytest:
         run_pytest_suite(kernels)
+    calibration = calibration_seconds()
+    calibration_numpy = calibration_numpy_seconds()
 
     stamp = datetime.now().strftime("%Y%m%d_%H%M%S")
     path = args.output or Path(f"BENCH_{stamp}.json")
@@ -170,11 +332,22 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "quick": args.quick,
+            "calibration_s": calibration,
+            "calibration_numpy_s": calibration_numpy,
         },
         "kernels": kernels,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
+
+    if args.baseline is not None:
+        failures = check_baseline(
+            kernels, calibration, args.baseline, args.tolerance,
+            calibration_numpy=calibration_numpy,
+        )
+        if failures:
+            print(f"{failures} kernel(s) regressed past tolerance")
+            return 1
     return 0
 
 

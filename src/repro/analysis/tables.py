@@ -11,8 +11,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.design_space import (
+    EngineRow,
     HierarchyRow,
     SpecializationRow,
+    engine_sweep,
     hierarchy_sweep,
     specialization_sweep,
 )
@@ -204,3 +206,34 @@ def all_tables_text() -> str:
         table1_text(), table2_text(), table3_text(),
         table4_text(), table5_text(),
     ])
+
+
+# ----------------------------------------------------------------------
+# Extension — generalized-engine design space (not a paper table)
+# ----------------------------------------------------------------------
+
+def engine_table(**kwargs) -> List[EngineRow]:
+    """Rows of the (depth, policy, workload) engine sweep.
+
+    Keyword arguments pass straight through to
+    :func:`repro.core.design_space.engine_sweep`.
+    """
+    return engine_sweep(**kwargs)
+
+
+def engine_table_text(**kwargs) -> str:
+    """The engine design space rendered like the paper tables."""
+    body = []
+    for row in engine_table(**kwargs):
+        body.append([
+            row.workload, row.n_bits, row.code_key, row.depth, row.policy,
+            row.hit_rate, row.speedup, row.transfer_bound_fraction,
+            row.transfers,
+        ])
+    return format_table(
+        ["workload", "bits", "code", "depth", "policy",
+         "hit rate", "speedup", "xfer-bound", "transfers"],
+        body,
+        title=("Extension: hierarchy-engine design space "
+               "(depth x policy x workload)"),
+    )

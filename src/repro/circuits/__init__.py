@@ -30,6 +30,13 @@ from .modexp import (
 )
 from .qft import QftCommunication, qft_circuit, qft_gate_counts
 from .shor import ShorEstimate, shor_estimate, shor_kq
+from .workloads import (
+    WorkloadSpec,
+    available_workloads,
+    build_workload,
+    get_workload,
+    register_workload,
+)
 
 __all__ = [
     "AdderLayout",
@@ -44,10 +51,15 @@ __all__ = [
     "QftCommunication",
     "ShorEstimate",
     "TOFFOLI_TRAFFIC_QUBITS",
+    "WorkloadSpec",
     "shor_estimate",
     "shor_kq",
     "adder_stats",
     "assemble",
+    "available_workloads",
+    "build_workload",
+    "get_workload",
+    "register_workload",
     "assemble_line",
     "cached_adder_stats",
     "carry_lookahead_adder",

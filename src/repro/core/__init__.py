@@ -2,11 +2,14 @@
 
 from .cqla import CqlaDesign
 from .design_space import (
+    ENGINE_WORKLOADS,
+    EngineRow,
     HierarchyRow,
     PAPER_BLOCK_CHOICES,
     PAPER_INPUT_SIZES,
     SpecializationRow,
     block_choices,
+    engine_sweep,
     hierarchy_sweep,
     performance_blocks,
     specialization_sweep,
@@ -24,9 +27,12 @@ __all__ = [
     "CqlaDesign",
     "DEFAULT_POLICY",
     "DesignMetrics",
+    "ENGINE_WORKLOADS",
+    "EngineRow",
     "FidelityBudget",
     "GranularityStudy",
     "HierarchyPolicy",
+    "engine_sweep",
     "fine_grained_gain",
     "granularity_study",
     "HierarchyRow",

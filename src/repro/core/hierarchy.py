@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from ..sim.hierarchy_sim import HierarchyRunResult, simulate_l1_run
+from ..sim.levels import HierarchyStack, two_level_stack
+from ..sim.policies import validate_policy
 from .cqla import CqlaDesign
 from .fidelity import FidelityBudget
 from .metrics import DesignMetrics
@@ -61,15 +63,29 @@ DEFAULT_POLICY = HierarchyPolicy(l1_additions=1, l2_additions=2)
 
 @dataclass(frozen=True)
 class MemoryHierarchy:
-    """A CQLA design extended with the level-1 cache hierarchy."""
+    """A CQLA design extended with the level-1 cache hierarchy.
+
+    ``eviction_policy`` selects the level-1 replacement policy from the
+    :mod:`repro.sim.policies` registry; the default ``"lru"`` is the
+    paper's configuration and runs through the memoized Table 5
+    compatibility path.
+    """
 
     design: CqlaDesign
     parallel_transfers: int = 10
     policy: HierarchyPolicy = DEFAULT_POLICY
+    eviction_policy: str = "lru"
 
     def __post_init__(self) -> None:
         if self.parallel_transfers < 1:
             raise ValueError("need at least one parallel transfer")
+        validate_policy(self.eviction_policy)
+
+    def stack(self) -> HierarchyStack:
+        """The two-level stack this hierarchy simulates on."""
+        return two_level_stack(
+            self.design.code_key, parallel_transfers=self.parallel_transfers
+        )
 
     # -- simulated speedups ------------------------------------------------
     @cached_property
@@ -78,6 +94,7 @@ class MemoryHierarchy:
             self.design.code_key,
             self.design.n_bits,
             parallel_transfers=self.parallel_transfers,
+            eviction_policy=self.eviction_policy,
         )
 
     def l1_speedup(self) -> float:

@@ -335,6 +335,13 @@ def simulate_optimized(
     :class:`CacheStats`) but O(1) amortized per pick instead of
     rescanning the ready list.
     """
+    if capacity < 2:
+        raise ValueError(
+            "cache capacity must be at least 2 logical qubits "
+            f"(a two-operand gate needs both resident), got {capacity}"
+        )
+    if not circuit.gates:
+        raise ValueError("cannot simulate an empty circuit")
     if window is not None and window < 1:
         raise ValueError("fetch window must be positive")
     return _IncrementalFetch(circuit, capacity, window).run()

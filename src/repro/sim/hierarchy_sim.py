@@ -1,13 +1,13 @@
-"""Memory-hierarchy simulator: level-1 execution with transfers (Table 5).
+"""Two-level compatibility wrapper over the N-level hierarchy engine.
 
-Simulates running an adder in the level-1 compute region backed by the
-level-1 cache and level-2 memory.  Instructions issue in the optimized
-fetch order; every operand miss requires a code transfer from memory
-(level 2 -> level 1), and — qubits being uncopyable — every eviction
-requires the paired promotion back (level 1 -> level 2).  Transfers flow
-through the code-transfer network with ``parallel_transfers`` ports,
-reduced by the code's per-transfer channel requirement (Bacon-Shor needs
-three channels per qubit, Steane one).
+This module keeps the original Table 5 surface — ``simulate_l1_run``
+returning a :class:`HierarchyRunResult` — but the simulation itself now
+runs on the general engine of :mod:`repro.sim.levels`: the call builds
+the paper's two-level stack (L1 compute+cache over L2 memory, LRU
+replacement, optimized fetch) and maps the engine result back onto the
+legacy fields.  The pre-refactor event loop is retained verbatim as
+:func:`simulate_l1_run_reference`, and the equivalence tests pin the
+engine-backed path to it bit for bit — Table 5 is unchanged.
 
 The level-1 speedup of Table 5 is the ratio between executing the same
 instruction stream entirely at level 2 and this simulated level-1 run.
@@ -16,7 +16,6 @@ instruction stream entirely at level 2 and this simulated level-1 run.
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import List, Optional
@@ -26,14 +25,22 @@ from ..ecc.concatenated import by_key
 from ..ecc.transfer import TransferNetwork
 from ..perf.memo import resolve_cache, stable_key
 from .cache import LruCache, simulate_optimized
+from .levels import (
+    DEFAULT_COMPUTE_QUBITS,
+    l1_capacity,
+    simulate_hierarchy_run,
+    two_level_stack,
+)
+from .policies import validate_policy
 from .scheduler import _adder_circuit
 
-#: Level-1 compute-region size used across the hierarchy studies: one
-#: optimally sized superblock (36 blocks) of 9 data qubits... the paper
-#: studies cache sizes against the compute-region qubit count n; we use
-#: a 9-block compute region (81 qubits), the superblock granularity of
-#: Figure 3, with the standard cache factor of 2.
-DEFAULT_COMPUTE_QUBITS = 81
+__all__ = [
+    "DEFAULT_COMPUTE_QUBITS",
+    "HierarchyRunResult",
+    "l1_speedup",
+    "simulate_l1_run",
+    "simulate_l1_run_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,38 @@ class HierarchyRunResult:
         return self.transfer_wait_s / self.l1_time_s if self.l1_time_s else 0.0
 
 
+def _validate_l1_args(
+    parallel_transfers: int,
+    compute_qubits: int,
+    cache_factor: float,
+    circuit: Optional[Circuit],
+    eviction_policy: str = "lru",
+) -> None:
+    """Boundary validation: fail fast with a clear message instead of
+    deep inside the event loop."""
+    if parallel_transfers < 1:
+        raise ValueError(
+            f"parallel_transfers must be at least 1, got {parallel_transfers}"
+        )
+    if compute_qubits < 1:
+        raise ValueError(
+            f"compute_qubits must be at least 1, got {compute_qubits}"
+        )
+    if cache_factor < 0.0:
+        raise ValueError(
+            f"cache_factor cannot be negative, got {cache_factor}"
+        )
+    capacity = l1_capacity(compute_qubits, cache_factor)
+    if capacity < 2:
+        raise ValueError(
+            "level-1 cache capacity must be at least 2 logical qubits; "
+            f"(1 + {cache_factor}) * {compute_qubits} rounds to {capacity}"
+        )
+    if circuit is not None and not circuit.gates:
+        raise ValueError("cannot simulate an empty circuit")
+    validate_policy(eviction_policy)
+
+
 def simulate_l1_run(
     code_key: str,
     n_bits: int,
@@ -68,6 +107,7 @@ def simulate_l1_run(
     cache_factor: float = 2.0,
     circuit: Optional[Circuit] = None,
     cache=None,
+    eviction_policy: str = "lru",
 ) -> HierarchyRunResult:
     """Simulate one adder at level 1 behind the transfer network.
 
@@ -78,6 +118,10 @@ def simulate_l1_run(
     qubit; the instruction waits for its operands' arrivals, while
     computation on already-resident operands continues to overlap.
 
+    ``eviction_policy`` selects the level-1 replacement policy from the
+    :mod:`repro.sim.policies` registry; the default ``"lru"`` is the
+    paper's configuration, bit-identical to the pre-engine simulator.
+
     Runs with the default adder circuit are memoized through
     :mod:`repro.perf.memo` (keyed on every parameter that affects the
     result); pass ``cache=False`` to force a fresh simulation, or an
@@ -85,16 +129,21 @@ def simulate_l1_run(
     where results persist.  Caller-supplied circuits bypass the cache —
     there is no stable key for an arbitrary gate list.
     """
+    _validate_l1_args(
+        parallel_transfers, compute_qubits, cache_factor, circuit,
+        eviction_policy,
+    )
     if circuit is not None:
         return _simulate_l1_run_uncached(
             code_key, n_bits, parallel_transfers, compute_qubits,
-            cache_factor, circuit,
+            cache_factor, circuit, eviction_policy,
         )
     memo = resolve_cache(cache)
     key = stable_key(
         "simulate_l1_run", code_key=code_key, n_bits=n_bits,
         parallel_transfers=parallel_transfers,
         compute_qubits=compute_qubits, cache_factor=cache_factor,
+        eviction_policy=eviction_policy,
     )
     if memo is not None:
         hit = memo.get(key)
@@ -105,7 +154,7 @@ def simulate_l1_run(
                 pass  # malformed persisted entry: fall through, recompute
     result = _simulate_l1_run_uncached(
         code_key, n_bits, parallel_transfers, compute_qubits,
-        cache_factor, None,
+        cache_factor, None, eviction_policy,
     )
     if memo is not None:
         memo.put(key, asdict(result))
@@ -119,7 +168,46 @@ def _simulate_l1_run_uncached(
     compute_qubits: int,
     cache_factor: float,
     circuit: Optional[Circuit],
+    eviction_policy: str = "lru",
 ) -> HierarchyRunResult:
+    """Engine-backed two-level run mapped onto the legacy result."""
+    if circuit is None:
+        circuit = _adder_circuit(n_bits, False)
+    stack = two_level_stack(
+        code_key,
+        compute_qubits=compute_qubits,
+        cache_factor=cache_factor,
+        parallel_transfers=parallel_transfers,
+    )
+    run = simulate_hierarchy_run(stack, circuit, policy=eviction_policy)
+    return HierarchyRunResult(
+        code_key=code_key,
+        n_bits=n_bits,
+        parallel_transfers=parallel_transfers,
+        l1_time_s=run.total_time_s,
+        l2_time_s=run.serial_bottom_time_s,
+        compute_time_s=run.compute_time_s,
+        transfer_wait_s=run.transfer_wait_s,
+        hit_rate=run.hit_rate,
+        transfers=run.level_stats[0].misses,
+    )
+
+
+def simulate_l1_run_reference(
+    code_key: str,
+    n_bits: int,
+    parallel_transfers: int = 10,
+    compute_qubits: int = DEFAULT_COMPUTE_QUBITS,
+    cache_factor: float = 2.0,
+    circuit: Optional[Circuit] = None,
+) -> HierarchyRunResult:
+    """The original two-level event loop, retained verbatim.
+
+    This is the executable specification the engine-backed
+    :func:`simulate_l1_run` is pinned against: same fetch order, same
+    LRU replacement, same port-server timing, field-for-field identical
+    :class:`HierarchyRunResult`.
+    """
     code = by_key(code_key)
     network = TransferNetwork(
         code_key=code_key, parallel_transfers=parallel_transfers

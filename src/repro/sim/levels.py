@@ -1,0 +1,486 @@
+"""N-level memory-hierarchy engine (generalizing the Table 5 simulator).
+
+The paper evaluates exactly one organization: a level-1 compute region
+plus cache in front of level-2 memory, LRU replacement, Draper adder
+workload.  This module is the general form: a :class:`HierarchyStack`
+of N >= 2 :class:`MemoryLevel`\\ s — level 0 is the compute level, the
+last level the unbounded backing store — connected by the Table 3
+:class:`~repro.ecc.transfer.TransferNetwork` between each adjacent
+pair, driven by any :class:`~repro.circuits.circuit.Circuit` under any
+registered eviction policy (:mod:`repro.sim.policies`).
+
+The hierarchy is *exclusive*: logical qubits cannot be copied, so each
+lives at exactly one level.  A gate operand found below level 0 is
+teleported up hop by hop (each hop occupies a port of that hop's
+network); the insertion at level 0 may evict a resident, whose paired
+write-back holds the arrival port for the promotion latency — and may
+cascade further evictions down the stack, each paired with a write-back
+on its own network.  Intermediate levels therefore behave as victim
+caches: a qubit evicted from level 0 is one cheap hop away on its next
+use instead of a full climb from memory.
+
+With a two-level stack and the ``lru`` policy this engine reproduces
+the original Table 5 simulator bit for bit (pinned by the equivalence
+tests against ``simulate_l1_run_reference``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..circuits.circuit import Circuit
+from ..ecc.concatenated import by_key
+from ..ecc.transfer import TransferNetwork
+from .cache import simulate_optimized
+from .policies import PolicyCache, make_policy
+
+#: Level-1 compute-region size used across the hierarchy studies: one
+#: optimally sized superblock (36 blocks) of 9 data qubits... the paper
+#: studies cache sizes against the compute-region qubit count n; we use
+#: a 9-block compute region (81 qubits), the superblock granularity of
+#: Figure 3, with the standard cache factor of 2.
+DEFAULT_COMPUTE_QUBITS = 81
+
+#: Standard cache-capacity multiple of the compute-region size.
+DEFAULT_CACHE_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the hierarchy: an encoding point plus a capacity.
+
+    ``capacity`` is the number of logical qubits the level can hold;
+    ``None`` marks the unbounded backing store (the last level).  The
+    access cost and the per-transfer channel requirement derive from
+    the level's concatenated code.
+    """
+
+    name: str
+    code_key: str
+    code_level: int
+    capacity: Optional[int]
+
+    def __post_init__(self) -> None:
+        by_key(self.code_key)  # validates the key
+        if self.code_level < 1:
+            raise ValueError("memory levels must be encoded (code_level >= 1)")
+        if self.capacity is not None and self.capacity < 2:
+            raise ValueError(
+                "level capacity must be at least 2 logical qubits "
+                "(or None for an unbounded backing store)"
+            )
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.capacity is not None
+
+    @property
+    def op_time_s(self) -> float:
+        """Sustained logical-gate period at this level's encoding."""
+        return by_key(self.code_key).logical_op_time_s(self.code_level)
+
+    @property
+    def ec_time_s(self) -> float:
+        return by_key(self.code_key).ec_time_s(self.code_level)
+
+    @property
+    def channels_per_transfer(self) -> int:
+        """Teleport channels one logical transfer occupies (Table 3)."""
+        return by_key(self.code_key).spec.teleport_channels
+
+
+@dataclass(frozen=True)
+class HierarchyStack:
+    """An ordered stack of levels joined by transfer networks.
+
+    ``levels[0]`` is the compute level (gates execute there),
+    ``levels[-1]`` the unbounded backing store.  ``parallel_transfers``
+    is either one "Par Xfer" count broadcast to every network or a
+    tuple with one entry per adjacent-level network (index ``i`` joins
+    level ``i+1`` to level ``i``).
+    """
+
+    levels: Tuple[MemoryLevel, ...]
+    parallel_transfers: Tuple[int, ...] = (10,)
+
+    def __post_init__(self) -> None:
+        levels = tuple(self.levels)
+        object.__setattr__(self, "levels", levels)
+        if len(levels) < 2:
+            raise ValueError("a hierarchy needs at least two levels")
+        for level in levels[:-1]:
+            if not level.is_bounded:
+                raise ValueError(
+                    "only the last (backing-store) level may be unbounded"
+                )
+        if levels[-1].is_bounded:
+            raise ValueError(
+                "the last level is the backing store and must be unbounded "
+                "(capacity=None)"
+            )
+        keys = {level.code_key for level in levels}
+        if len(keys) != 1:
+            raise ValueError(
+                "mixed-code stacks are not supported yet (multi-backend "
+                "codes are a ROADMAP open item)"
+            )
+        pt = self.parallel_transfers
+        if isinstance(pt, int):
+            pt = (pt,) * (len(levels) - 1)
+        else:
+            pt = tuple(pt)
+            if len(pt) == 1:
+                pt = pt * (len(levels) - 1)
+        if len(pt) != len(levels) - 1:
+            raise ValueError(
+                "parallel_transfers needs one entry per adjacent-level "
+                f"network ({len(levels) - 1}), got {len(pt)}"
+            )
+        for count in pt:
+            if count < 1:
+                raise ValueError("need at least one parallel transfer")
+        object.__setattr__(self, "parallel_transfers", pt)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    @property
+    def code_key(self) -> str:
+        return self.levels[0].code_key
+
+    def network(self, index: int) -> TransferNetwork:
+        """The transfer network joining level ``index+1`` to ``index``."""
+        lower, upper = self.levels[index], self.levels[index + 1]
+        return TransferNetwork(
+            code_key=lower.code_key,
+            memory_level=upper.code_level,
+            cache_level=lower.code_level,
+            parallel_transfers=self.parallel_transfers[index],
+        )
+
+    def networks(self) -> Tuple[TransferNetwork, ...]:
+        return tuple(self.network(i) for i in range(self.depth - 1))
+
+
+def l1_capacity(compute_qubits: int, cache_factor: float) -> int:
+    """Resident-set size of a compute level: region plus cache."""
+    return int(round((1.0 + cache_factor) * compute_qubits))
+
+
+def two_level_stack(
+    code_key: str,
+    compute_qubits: int = DEFAULT_COMPUTE_QUBITS,
+    cache_factor: float = DEFAULT_CACHE_FACTOR,
+    parallel_transfers: Union[int, Sequence[int]] = 10,
+) -> HierarchyStack:
+    """The paper's design point: L1 compute+cache over L2 memory."""
+    capacity = l1_capacity(compute_qubits, cache_factor)
+    return HierarchyStack(
+        levels=(
+            MemoryLevel("L1", code_key, 1, capacity),
+            MemoryLevel("memory", code_key, 2, None),
+        ),
+        parallel_transfers=parallel_transfers,
+    )
+
+
+def standard_stack(
+    code_key: str,
+    depth: int,
+    compute_qubits: int = DEFAULT_COMPUTE_QUBITS,
+    cache_factor: float = DEFAULT_CACHE_FACTOR,
+    parallel_transfers: Union[int, Sequence[int]] = 10,
+) -> HierarchyStack:
+    """A depth-N stack: code level ``i+1`` at stack level ``i``.
+
+    Capacities double per level below the compute level (each tier
+    trades speed for space), the deepest level is the unbounded store.
+    ``depth=2`` is exactly :func:`two_level_stack`.
+    """
+    if depth < 2:
+        raise ValueError("a hierarchy needs at least two levels")
+    base = l1_capacity(compute_qubits, cache_factor)
+    levels: List[MemoryLevel] = [
+        MemoryLevel(f"L{i + 1}", code_key, i + 1, base * (2 ** i))
+        for i in range(depth - 1)
+    ]
+    levels.append(MemoryLevel("memory", code_key, depth, None))
+    return HierarchyStack(tuple(levels), parallel_transfers)
+
+
+def three_level_stack(code_key: str, **kwargs) -> HierarchyStack:
+    """Convenience: the default depth-3 organization."""
+    return standard_stack(code_key, 3, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# engine results
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LevelStat:
+    """Access counters of one level over a run."""
+
+    name: str
+    capacity: Optional[int]
+    accesses: int
+    hits: int
+    misses: int
+    evictions: int
+    final_occupancy: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class HierarchyEngineResult:
+    """Timing and traffic breakdown of one N-level simulated run."""
+
+    workload: str
+    policy: str
+    depth: int
+    total_time_s: float
+    serial_bottom_time_s: float
+    compute_time_s: float
+    transfer_wait_s: float
+    level_stats: Tuple[LevelStat, ...]
+    fetches: Tuple[int, ...]
+    writebacks: Tuple[int, ...]
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate at the compute level (the paper's cache hit rate)."""
+        return self.level_stats[0].hit_rate
+
+    @property
+    def speedup(self) -> float:
+        """Serial bottom-level execution time over hierarchy time."""
+        return self.serial_bottom_time_s / self.total_time_s
+
+    @property
+    def transfers(self) -> int:
+        """Total logical-qubit moves across every network, both ways."""
+        return sum(self.fetches) + sum(self.writebacks)
+
+    @property
+    def transfer_bound_fraction(self) -> float:
+        if not self.total_time_s:
+            return 0.0
+        return self.transfer_wait_s / self.total_time_s
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+def _resolve_workload(workload: Union[Circuit, str]) -> Circuit:
+    if isinstance(workload, Circuit):
+        return workload
+    if isinstance(workload, str):
+        from ..circuits.workloads import build_workload
+
+        return build_workload(workload)
+    raise TypeError(
+        "workload must be a Circuit or a registered workload name, "
+        f"got {type(workload).__name__}"
+    )
+
+
+def simulate_hierarchy_run(
+    stack: HierarchyStack,
+    workload: Union[Circuit, str],
+    policy: str = "lru",
+    *,
+    window: Optional[int] = None,
+    fetch: str = "optimized",
+    order: Optional[Sequence[int]] = None,
+) -> HierarchyEngineResult:
+    """Simulate ``workload`` on the compute level of ``stack``.
+
+    Instructions issue in the optimized fetch order computed against
+    the compute level's capacity (``fetch="in-order"`` keeps program
+    order instead; ``window`` bounds the fetch lookahead).  Every
+    finite level replaces residents with a fresh instance of the named
+    eviction ``policy``.  All qubits start at the backing store.
+
+    The fetch schedule depends only on (circuit, compute capacity,
+    window), never on the eviction policy — callers comparing policies
+    can compute ``simulate_optimized(circuit, capacity).order`` once
+    and pass it as ``order`` to skip redundant scheduling runs.
+    """
+    circuit = _resolve_workload(workload)
+    if not circuit.gates:
+        raise ValueError("cannot simulate an empty circuit")
+    if fetch not in ("optimized", "in-order"):
+        raise ValueError(
+            f"unknown fetch mode {fetch!r}; use 'optimized' or 'in-order'"
+        )
+    if window is not None and (order is not None or fetch != "optimized"):
+        raise ValueError(
+            "window only applies to fetch='optimized' without a "
+            "precomputed order; it would be silently ignored here"
+        )
+    if order is not None and fetch != "optimized":
+        raise ValueError(
+            "order and fetch='in-order' contradict each other; a "
+            "precomputed order already fixes the schedule"
+        )
+    gates = circuit.gates
+    top = stack.levels[0]
+    # One policy instance per finite level, built before the (much more
+    # expensive) fetch scheduling so a bad policy name fails fast.
+    level_policies = [make_policy(policy) for _ in stack.levels[:-1]]
+    if order is not None:
+        if sorted(order) != list(range(len(gates))):
+            raise ValueError(
+                "order must be a permutation of the circuit's gate indices"
+            )
+    elif fetch == "optimized":
+        order = simulate_optimized(circuit, top.capacity, window=window).order
+    else:
+        order = range(len(gates))
+    trace = [q for idx in order for q in gates[idx].qubits]
+
+    bottom = stack.depth - 1
+    caches = [
+        PolicyCache(level.capacity, level_policy, trace)
+        for level, level_policy in zip(stack.levels[:-1], level_policies)
+    ]
+    networks = stack.networks()
+    demote = [net.demote_time_s for net in networks]
+    promote = [net.promote_time_s for net in networks]
+    ports: List[List[float]] = []
+    for net in networks:
+        lanes = max(1, round(net.effective_concurrency))
+        heap = [0.0] * lanes
+        heapq.heapify(heap)
+        ports.append(heap)
+
+    location = {q: bottom for q in circuit.touched_qubits()}
+    fetches = [0] * len(networks)
+    writebacks = [0] * len(networks)
+    bottom_hits = 0
+
+    top_op = top.op_time_s
+    compute_free = 0.0
+    transfer_wait = 0.0
+    compute_time = 0.0
+    pos = 0
+    for idx in order:
+        gate = gates[idx]
+        arrivals = 0.0
+        # Operands already touched for this gate are pinned: they are
+        # part of the issuing gate and cannot be evicted mid-gate.
+        # (LRU never picks them anyway — they sit at the MRU end — so
+        # the two-level-LRU compatibility path is unaffected.)
+        issued: set = set()
+        for q in gate.qubits:
+            src = location[q]
+            if src == 0:
+                caches[0].access_evicting(q, pos)  # guaranteed hit
+                issued.add(q)
+                pos += 1
+                continue
+            # The search walks down the stack: a miss at every level
+            # above the qubit's, a hit where it lives.
+            for k in range(1, src):
+                caches[k].record_miss()
+            if src == bottom:
+                bottom_hits += 1
+            else:
+                caches[src].lookup_remove(q, pos)
+            # Teleport the qubit up hop by hop; each hop occupies a
+            # port of its network, and the qubit cannot start a hop
+            # before finishing the previous one.
+            prev = 0.0
+            for k in range(src - 1, 0, -1):
+                port = heapq.heappop(ports[k])
+                start = port if port > prev else prev
+                prev = start + demote[k]
+                fetches[k] += 1
+                heapq.heappush(ports[k], prev)
+            port = heapq.heappop(ports[0])
+            start = port if port > prev else prev
+            arrival = start + demote[0]
+            fetches[0] += 1
+            _, evicted = caches[0].access_evicting(q, pos, issued)
+            location[q] = 0
+            issued.add(q)
+            # The paired write-back of the evicted qubit keeps the
+            # arrival port busy after the demotion completes.
+            busy = arrival
+            if evicted is not None:
+                busy = arrival + promote[0]
+                writebacks[0] += 1
+                location[evicted] = 1
+                victim = evicted
+                available = busy
+                lvl = 1
+                while lvl < bottom:
+                    bumped = caches[lvl].insert(victim, pos)
+                    if bumped is None:
+                        break
+                    writebacks[lvl] += 1
+                    location[bumped] = lvl + 1
+                    lower_port = heapq.heappop(ports[lvl])
+                    start2 = (lower_port if lower_port > available
+                              else available)
+                    available = start2 + promote[lvl]
+                    heapq.heappush(ports[lvl], available)
+                    victim = bumped
+                    lvl += 1
+            heapq.heappush(ports[0], busy)
+            if arrival > arrivals:
+                arrivals = arrival
+            pos += 1
+        start = compute_free if compute_free > arrivals else arrivals
+        if arrivals > compute_free:
+            transfer_wait += arrivals - compute_free
+        duration = gate.ec_slots * top_op
+        compute_free = start + duration
+        compute_time += duration
+
+    occupancy = [0] * stack.depth
+    for level in location.values():
+        occupancy[level] += 1
+    level_stats: List[LevelStat] = []
+    for i, cache in enumerate(caches):
+        level = stack.levels[i]
+        s = cache.stats
+        level_stats.append(LevelStat(
+            name=level.name,
+            capacity=level.capacity,
+            accesses=s.accesses,
+            hits=s.hits,
+            misses=s.misses,
+            evictions=s.evictions,
+            final_occupancy=occupancy[i],
+        ))
+    bottom_level = stack.levels[bottom]
+    level_stats.append(LevelStat(
+        name=bottom_level.name,
+        capacity=None,
+        accesses=bottom_hits,
+        hits=bottom_hits,
+        misses=0,
+        evictions=0,
+        final_occupancy=occupancy[bottom],
+    ))
+    serial_bottom = sum(g.ec_slots for g in gates) * bottom_level.op_time_s
+    return HierarchyEngineResult(
+        workload=circuit.name or f"circuit-{circuit.n_qubits}q",
+        policy=policy,
+        depth=stack.depth,
+        total_time_s=compute_free,
+        serial_bottom_time_s=serial_bottom,
+        compute_time_s=compute_time,
+        transfer_wait_s=transfer_wait,
+        level_stats=tuple(level_stats),
+        fetches=tuple(fetches),
+        writebacks=tuple(writebacks),
+    )

@@ -1,0 +1,359 @@
+"""Pluggable eviction policies for the memory-hierarchy engine.
+
+Replacement at every finite level of a :class:`~repro.sim.levels.HierarchyStack`
+is delegated to an :class:`EvictionPolicy` looked up in a registry by
+name.  Four policies ship with the engine:
+
+* ``lru`` — least recently used, the policy of the paper's Section 5.2
+  cache study (and of the original two-level simulator, to which it is
+  bit-identical);
+* ``fifo`` — first-in first-out, the no-recency baseline;
+* ``score`` — evict the resident qubit *least referenced by upcoming
+  instructions*, reusing the statically-known-program insight behind
+  the incremental resident-operand scores of :mod:`repro.sim.cache`:
+  quantum programs are fully scheduled at compile time, so a bounded
+  lookahead over the fetch-ordered operand trace is legitimate
+  compile-time information, not an oracle;
+* ``belady`` — Belady's optimal offline replacement (evict the qubit
+  whose next use is farthest in the future), the upper bound every
+  online policy is measured against.
+
+Policies observe the flattened operand *trace* of the scheduled program
+at reset time and receive the current trace position with every event,
+which is what lets the lookahead policies stay incremental.  The
+:class:`PolicyCache` wrapper pairs a policy with a resident set and the
+:class:`~repro.sim.cache.CacheStats` counters; with the ``lru`` policy
+its event stream is exactly that of :class:`~repro.sim.cache.LruCache`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import (
+    Callable,
+    Collection,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from .cache import CacheStats
+
+#: Sentinel "never used again" distance for Belady victim selection.
+_NEVER = float("inf")
+
+
+class EvictionPolicy:
+    """Replacement decisions for one finite hierarchy level.
+
+    The engine calls :meth:`reset` once with the level capacity and the
+    flattened operand trace of the scheduled program, then keeps the
+    policy's view of the resident set in sync through
+    :meth:`on_insert` / :meth:`on_hit` / :meth:`on_remove`.
+    :meth:`victim` names the qubit to displace when the level is full;
+    ``pos`` is always the index of the operand access currently being
+    processed (cascaded demotions triggered by that access share its
+    position), and ``pinned`` holds qubits that must not be chosen —
+    operands of the gate currently issuing, which cannot be teleported
+    away mid-gate.  When every resident is pinned (capacity smaller
+    than the gate's operand count) the pin is unsatisfiable and the
+    policy falls back to its unpinned choice.
+    """
+
+    name = "abstract"
+
+    def reset(self, capacity: int, trace: Sequence[int]) -> None:
+        pass
+
+    def on_insert(self, qubit: int, pos: int) -> None:
+        raise NotImplementedError
+
+    def on_hit(self, qubit: int, pos: int) -> None:
+        pass
+
+    def on_remove(self, qubit: int) -> None:
+        raise NotImplementedError
+
+    def victim(self, pos: int, pinned: Collection[int] = ()) -> int:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[[], EvictionPolicy]] = {}
+
+
+def register_policy(cls: Type[EvictionPolicy]) -> Type[EvictionPolicy]:
+    """Class decorator adding an :class:`EvictionPolicy` to the registry."""
+    name = cls.name
+    if not name or name == "abstract":
+        raise ValueError("policy classes must set a concrete `name`")
+    if name in _REGISTRY:
+        raise ValueError(f"eviction policy {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def validate_policy(name: str) -> None:
+    """Raise ValueError unless ``name`` is a registered policy."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown eviction policy {name!r}; registered policies: "
+            f"{', '.join(available_policies())}"
+        )
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """A fresh policy instance for one hierarchy level."""
+    validate_policy(name)
+    return _REGISTRY[name]()
+
+
+def available_policies() -> Tuple[str, ...]:
+    """All registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# shipped policies
+# ----------------------------------------------------------------------
+
+class _RecencyOrdered(EvictionPolicy):
+    """Shared recency bookkeeping: an OrderedDict of residents, hits
+    refreshed to the back.  Subclasses inherit LRU recency (which the
+    lookahead policies use for tie-breaking); FIFO opts out."""
+
+    def reset(self, capacity: int, trace: Sequence[int]) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_insert(self, qubit: int, pos: int) -> None:
+        self._order[qubit] = None
+
+    def on_hit(self, qubit: int, pos: int) -> None:
+        self._order.move_to_end(qubit)
+
+    def on_remove(self, qubit: int) -> None:
+        del self._order[qubit]
+
+    def victim(self, pos: int, pinned: Collection[int] = ()) -> int:
+        for qubit in self._order:
+            if qubit not in pinned:
+                return qubit
+        return next(iter(self._order))  # unsatisfiable pin: fall back
+
+
+@register_policy
+class LruPolicy(_RecencyOrdered):
+    """Least recently used — evict the longest-untouched resident."""
+
+    name = "lru"
+
+
+@register_policy
+class FifoPolicy(_RecencyOrdered):
+    """First-in first-out — hits do not refresh a resident's age."""
+
+    name = "fifo"
+
+    def on_hit(self, qubit: int, pos: int) -> None:
+        pass
+
+
+@register_policy
+class ScorePolicy(_RecencyOrdered):
+    """Evict the resident qubit least used in the next ``window`` accesses.
+
+    Scores are occurrence counts over a sliding lookahead window of the
+    operand trace, maintained incrementally (two counter updates per
+    trace step).  Ties break toward the least recently used resident,
+    so with an empty window the policy degenerates to LRU.
+    """
+
+    name = "score"
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError("score lookahead window must be positive")
+        self.window = window
+
+    def reset(self, capacity: int, trace: Sequence[int]) -> None:
+        super().reset(capacity, trace)
+        self._trace = trace
+        self._pos = -1
+        self._counts: Dict[int, int] = {}
+        for q in trace[: self.window]:
+            self._counts[q] = self._counts.get(q, 0) + 1
+
+    def _sync(self, pos: int) -> None:
+        """Slide the window so it covers trace[pos+1 : pos+1+window]."""
+        trace, counts, window = self._trace, self._counts, self.window
+        while self._pos < pos:
+            self._pos += 1
+            leaving = trace[self._pos]
+            remaining = counts.get(leaving, 0) - 1
+            if remaining > 0:
+                counts[leaving] = remaining
+            else:
+                counts.pop(leaving, None)
+            entering = self._pos + window
+            if entering < len(trace):
+                q = trace[entering]
+                counts[q] = counts.get(q, 0) + 1
+
+    def victim(self, pos: int, pinned: Collection[int] = ()) -> int:
+        self._sync(pos)
+        counts = self._counts
+        best = None
+        best_score = None
+        for qubit in self._order:  # LRU-first iteration breaks ties
+            if qubit in pinned:
+                continue
+            score = counts.get(qubit, 0)
+            if best_score is None or score < best_score:
+                best, best_score = qubit, score
+                if score == 0:
+                    break
+        if best is None:  # unsatisfiable pin: fall back
+            return next(iter(self._order))
+        return best
+
+
+@register_policy
+class BeladyPolicy(_RecencyOrdered):
+    """Belady's optimal offline replacement (farthest next use).
+
+    The full access trace is available — the program schedule is static
+    — so this is the exact replacement-optimal upper bound, not an
+    approximation.  Residents that are never used again evict first
+    (ties toward the least recently used).
+    """
+
+    name = "belady"
+
+    def reset(self, capacity: int, trace: Sequence[int]) -> None:
+        super().reset(capacity, trace)
+        positions: Dict[int, List[int]] = {}
+        for i, q in enumerate(trace):
+            positions.setdefault(q, []).append(i)
+        self._positions = positions
+
+    def _next_use(self, qubit: int, pos: int) -> float:
+        uses = self._positions.get(qubit)
+        if not uses:
+            return _NEVER
+        idx = bisect_right(uses, pos)
+        return uses[idx] if idx < len(uses) else _NEVER
+
+    def victim(self, pos: int, pinned: Collection[int] = ()) -> int:
+        best = None
+        best_dist = -1.0
+        for qubit in self._order:  # LRU-first iteration breaks ties
+            if qubit in pinned:
+                continue
+            dist = self._next_use(qubit, pos)
+            if dist == _NEVER:
+                return qubit
+            if dist > best_dist:
+                best, best_dist = qubit, dist
+        if best is None:  # unsatisfiable pin: fall back
+            return next(iter(self._order))
+        return best
+
+
+# ----------------------------------------------------------------------
+# policy-driven resident set
+# ----------------------------------------------------------------------
+
+class PolicyCache:
+    """A finite hierarchy level: resident qubits, a policy, counters.
+
+    Mirrors :class:`~repro.sim.cache.LruCache` (same
+    :class:`~repro.sim.cache.CacheStats` semantics) but delegates victim
+    selection, and adds the two extra operations a multi-level exclusive
+    hierarchy needs: :meth:`lookup_remove` (a hit at an intermediate
+    level pulls the qubit out — qubits are uncopyable) and
+    :meth:`insert` (a write-back demoted from the level above, which is
+    not an access).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: EvictionPolicy,
+        trace: Sequence[int] = (),
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(
+                "cache capacity must be at least 2 (a two-operand gate "
+                "needs both operands resident at once)"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        policy.reset(capacity, trace)
+        self._resident: Dict[int, None] = {}
+        self.stats = CacheStats(capacity=capacity)
+
+    def __contains__(self, qubit: int) -> bool:
+        return qubit in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def resident(self) -> List[int]:
+        return list(self._resident)
+
+    def access_evicting(
+        self, qubit: int, pos: int, pinned: Collection[int] = ()
+    ) -> Tuple[bool, Optional[int]]:
+        """Operand access: ``(hit, evicted_qubit_or_None)``.
+
+        ``pinned`` qubits are exempt from victim selection — the
+        operands of the gate currently issuing cannot be teleported
+        away mid-gate.
+        """
+        self.stats.accesses += 1
+        if qubit in self._resident:
+            self.stats.hits += 1
+            self.policy.on_hit(qubit, pos)
+            return True, None
+        self.stats.misses += 1
+        return False, self._insert(qubit, pos, pinned)
+
+    def lookup_remove(self, qubit: int, pos: int) -> bool:
+        """Search for ``qubit``; a hit removes it (pulled up a level)."""
+        self.stats.accesses += 1
+        if qubit in self._resident:
+            self.stats.hits += 1
+            del self._resident[qubit]
+            self.policy.on_remove(qubit)
+            return True
+        self.stats.misses += 1
+        return False
+
+    def record_miss(self) -> None:
+        """A search passed through this level without finding its qubit."""
+        self.stats.accesses += 1
+        self.stats.misses += 1
+
+    def insert(self, qubit: int, pos: int) -> Optional[int]:
+        """Accept a write-back from above; returns the displaced qubit."""
+        return self._insert(qubit, pos, ())
+
+    def _insert(
+        self, qubit: int, pos: int, pinned: Collection[int]
+    ) -> Optional[int]:
+        evicted: Optional[int] = None
+        if len(self._resident) >= self.capacity:
+            evicted = self.policy.victim(pos, pinned)
+            del self._resident[evicted]
+            self.policy.on_remove(evicted)
+            self.stats.evictions += 1
+        self._resident[qubit] = None
+        self.policy.on_insert(qubit, pos)
+        return evicted

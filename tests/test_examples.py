@@ -42,6 +42,7 @@ class TestOtherExamples:
         "cache_study",
         "error_correction_study",
         "design_space_exploration",
+        "policy_comparison",
     ])
     def test_importable_with_main(self, name):
         module = _load(name)
@@ -56,3 +57,18 @@ class TestCacheStudyExecution:
         )
         assert result.returncode == 0, result.stderr
         assert "optimized fetch" in result.stdout
+
+
+class TestPolicyComparisonExecution:
+    def test_small_run(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "policy_comparison.py"), "12"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        # Every registered policy and workload shows up in the report.
+        for token in ("belady", "lru", "fifo", "score",
+                      "draper_adder", "qft", "modexp_trace",
+                      "3-level stack"):
+            assert token in out, token

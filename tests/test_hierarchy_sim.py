@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.circuits.circuit import Circuit
+from repro.sim.cache import simulate_optimized
 from repro.sim.hierarchy_sim import l1_speedup, simulate_l1_run
+from repro.sim.scheduler import _adder_circuit
 
 
 @pytest.fixture(scope="module")
@@ -56,3 +59,39 @@ class TestScaling:
         small = simulate_l1_run("steane", 64, cache_factor=1.0)
         large = simulate_l1_run("steane", 64, cache_factor=2.0)
         assert large.hit_rate >= small.hit_rate - 1e-9
+
+
+class TestBoundaryValidation:
+    """Bad configurations fail fast at the sim boundary with clear
+    messages instead of deep inside the event loop."""
+
+    def test_parallel_transfers_below_one(self):
+        with pytest.raises(ValueError, match="parallel_transfers"):
+            simulate_l1_run("steane", 64, parallel_transfers=0)
+        with pytest.raises(ValueError, match="parallel_transfers"):
+            simulate_l1_run("steane", 64, parallel_transfers=-3)
+
+    def test_cache_capacity_below_two(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            simulate_l1_run("steane", 64, compute_qubits=1, cache_factor=0.0)
+
+    def test_compute_qubits_below_one(self):
+        with pytest.raises(ValueError, match="compute_qubits"):
+            simulate_l1_run("steane", 64, compute_qubits=0)
+
+    def test_negative_cache_factor(self):
+        with pytest.raises(ValueError, match="cache_factor"):
+            simulate_l1_run("steane", 64, cache_factor=-0.5)
+
+    def test_empty_circuit(self):
+        with pytest.raises(ValueError, match="empty circuit"):
+            simulate_l1_run("steane", 64, circuit=Circuit(n_qubits=4))
+
+    def test_simulate_optimized_capacity_below_two(self):
+        circuit = _adder_circuit(8, False)
+        with pytest.raises(ValueError, match="at least 2"):
+            simulate_optimized(circuit, capacity=1)
+
+    def test_simulate_optimized_empty_circuit(self):
+        with pytest.raises(ValueError, match="empty circuit"):
+            simulate_optimized(Circuit(n_qubits=4), capacity=8)

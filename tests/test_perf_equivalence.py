@@ -1,15 +1,17 @@
-"""Equivalence tests: vectorized hot paths vs retained references.
+"""Equivalence tests: rewritten hot paths vs retained references.
 
-The incremental fetch scheduler and the batched Monte Carlo decoder are
-pure performance rewrites — each must produce *bit-identical* output to
-the scalar implementation it replaced.  The references are kept in the
-tree (``simulate_optimized_reference``, ``logical_error_rate_reference``)
-as executable specifications, and these tests pin the new paths to
-them.
+The incremental fetch scheduler, the batched Monte Carlo decoder, and
+the N-level hierarchy engine are rewrites of paths whose numbers the
+paper tables depend on — each must produce *bit-identical* output to
+the implementation it replaced.  The references are kept in the tree
+(``simulate_optimized_reference``, ``logical_error_rate_reference``,
+``simulate_l1_run_reference``) as executable specifications, and these
+tests pin the new paths to them.
 """
 
 import pytest
 
+from repro.core.design_space import hierarchy_sweep
 from repro.ecc.bacon_shor import bacon_shor_code
 from repro.ecc.montecarlo import (
     logical_error_rate,
@@ -18,6 +20,7 @@ from repro.ecc.montecarlo import (
 )
 from repro.ecc.steane import steane_code
 from repro.sim.cache import simulate_optimized, simulate_optimized_reference
+from repro.sim.hierarchy_sim import simulate_l1_run, simulate_l1_run_reference
 from repro.sim.scheduler import _adder_circuit
 
 COMPUTE_QUBITS = 27
@@ -41,6 +44,58 @@ class TestSchedulerEquivalence:
         ref = simulate_optimized_reference(circuit, 40, window=window)
         assert fast.order == ref.order
         assert fast.stats == ref.stats
+
+
+class TestHierarchyEngineEquivalence:
+    """The generalized N-level engine, run as a two-level LRU stack,
+    must reproduce the original Table 5 simulator field for field."""
+
+    @pytest.mark.parametrize("code_key", ["steane", "bacon_shor"])
+    @pytest.mark.parametrize("n_bits", [32, 64])
+    @pytest.mark.parametrize("par", [5, 10])
+    def test_two_level_lru_bit_identical(self, code_key, n_bits, par):
+        engine = simulate_l1_run(
+            code_key, n_bits, parallel_transfers=par, cache=False
+        )
+        ref = simulate_l1_run_reference(
+            code_key, n_bits, parallel_transfers=par
+        )
+        # Frozen-dataclass equality: every field exactly equal, floats
+        # included — no tolerance.
+        assert engine == ref
+
+    @pytest.mark.parametrize("compute_qubits,cache_factor", [
+        (27, 1.0), (27, 1.5), (81, 2.0),
+    ])
+    def test_cache_geometry_variants_identical(
+        self, compute_qubits, cache_factor
+    ):
+        engine = simulate_l1_run(
+            "steane", 64, compute_qubits=compute_qubits,
+            cache_factor=cache_factor, cache=False,
+        )
+        ref = simulate_l1_run_reference(
+            "steane", 64, compute_qubits=compute_qubits,
+            cache_factor=cache_factor,
+        )
+        assert engine == ref
+
+    def test_caller_supplied_circuit_identical(self):
+        circuit = _adder_circuit(32, False)
+        engine = simulate_l1_run("steane", 32, circuit=circuit)
+        ref = simulate_l1_run_reference("steane", 32, circuit=circuit)
+        assert engine == ref
+
+    def test_table5_speedups_unchanged(self):
+        """Every Table 5 cell's L1 speedup survives the refactor exactly."""
+        rows = hierarchy_sweep(cache=False)
+        assert rows
+        for row in rows:
+            ref = simulate_l1_run_reference(
+                row.code_key, row.n_bits,
+                parallel_transfers=row.parallel_transfers,
+            )
+            assert row.l1_speedup == ref.l1_speedup
 
 
 class TestMonteCarloEquivalence:
