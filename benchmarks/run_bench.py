@@ -97,6 +97,33 @@ def _bench_engine(n_bits: int, depth: int = 3):
     return run
 
 
+def _bench_prefetch(n_bits: int, depth: int = 3):
+    """The split-transaction event-kernel path: a 3-level stack under
+    exact next_k prefetching on one adder workload (demand on the
+    reservation model is the engine kernel above; this one times the
+    discrete-event dispatch, movement queues, and prefetch walk)."""
+    from repro.circuits.workloads import build_workload
+    from repro.core.design_space import (
+        ENGINE_CACHE_FACTOR,
+        ENGINE_COMPUTE_QUBITS,
+    )
+    from repro.sim.cache import simulate_optimized
+    from repro.sim.levels import simulate_hierarchy_run, standard_stack
+
+    circuit = build_workload("draper_adder", n_bits)
+    stack = standard_stack("steane", depth,
+                           compute_qubits=ENGINE_COMPUTE_QUBITS,
+                           cache_factor=ENGINE_CACHE_FACTOR)
+    # Policy-independent one-time setup, as in the engine kernel.
+    order = simulate_optimized(circuit, stack.levels[0].capacity).order
+
+    def run():
+        return simulate_hierarchy_run(stack, circuit, order=order,
+                                      prefetch="next_k")
+
+    return run
+
+
 def _bench_specialization_sweep():
     from repro.core.design_space import specialization_sweep
 
@@ -144,6 +171,7 @@ def kernel_set(quick: bool):
             "fetch_optimized_1024_x4": _times(_bench_fetch(1024), 4),
             "mc_steane_2000_x8": _times(_bench_mc("steane", 2000), 8),
             "engine_3level_policies_512": _bench_engine(512),
+            "prefetch_3level_next_k_512": _bench_prefetch(512),
         }
     return {
         "fetch_optimized_256": _bench_fetch(256),
@@ -153,6 +181,7 @@ def kernel_set(quick: bool):
         "specialization_sweep": _bench_specialization_sweep(),
         "hierarchy_sweep": _bench_hierarchy_sweep(),
         "engine_3level_policies_256": _bench_engine(256),
+        "prefetch_3level_next_k_512": _bench_prefetch(512),
     }
 
 

@@ -213,7 +213,7 @@ def all_tables_text() -> str:
 # ----------------------------------------------------------------------
 
 def engine_table(**kwargs) -> List[EngineRow]:
-    """Rows of the (depth, policy, workload) engine sweep.
+    """Rows of the (depth, policy, workload, prefetch) engine sweep.
 
     Keyword arguments pass straight through to
     :func:`repro.core.design_space.engine_sweep`.
@@ -222,18 +222,24 @@ def engine_table(**kwargs) -> List[EngineRow]:
 
 
 def engine_table_text(**kwargs) -> str:
-    """The engine design space rendered like the paper tables."""
+    """The engine design space rendered like the paper tables.
+
+    The ``makespan`` column is the simulated compute-level completion
+    time; comparing a workload's ``none`` row (demand fetching on the
+    reservation model) against its prefetcher rows (split-transaction
+    model) reads off the transfer-overlap win directly.
+    """
     body = []
     for row in engine_table(**kwargs):
         body.append([
             row.workload, row.n_bits, row.code_key, row.depth, row.policy,
-            row.hit_rate, row.speedup, row.transfer_bound_fraction,
-            row.transfers,
+            row.prefetch, row.hit_rate, row.speedup,
+            row.transfer_bound_fraction, row.transfers, row.makespan_s,
         ])
     return format_table(
-        ["workload", "bits", "code", "depth", "policy",
-         "hit rate", "speedup", "xfer-bound", "transfers"],
+        ["workload", "bits", "code", "depth", "policy", "prefetch",
+         "hit rate", "speedup", "xfer-bound", "transfers", "makespan"],
         body,
         title=("Extension: hierarchy-engine design space "
-               "(depth x policy x workload)"),
+               "(depth x policy x workload x prefetch)"),
     )

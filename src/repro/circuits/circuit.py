@@ -8,8 +8,10 @@ is how the test suite proves the Draper adder actually adds.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .gates import Gate, GateKind
 
@@ -80,6 +82,20 @@ class Circuit:
             seen.update(gate.qubits)
         return sorted(seen)
 
+    def operand_trace(self, order: Optional[Sequence[int]] = None) -> List[int]:
+        """The flattened operand stream of the (scheduled) program.
+
+        ``order`` is a gate-index permutation (e.g. the optimized fetch
+        schedule); ``None`` takes program order.  Quantum programs are
+        fully scheduled at compile time, so this trace is static — it
+        is the lookahead substrate for the score/Belady eviction
+        policies and for exact prefetching.
+        """
+        gates = self.gates
+        if order is None:
+            return [q for g in gates for q in g.qubits]
+        return [q for idx in order for q in gates[idx].qubits]
+
     # ------------------------------------------------------------------
     # classical simulation
     # ------------------------------------------------------------------
@@ -131,3 +147,46 @@ class Circuit:
             gates=list(reversed(self.gates)),
             name=f"{self.name}^-1",
         )
+
+
+#: Sentinel "never used again" distance for trace lookahead.
+NEVER_USED = math.inf
+
+
+@dataclass(frozen=True)
+class TraceIndex:
+    """Next-use lookup over a flattened operand trace.
+
+    The index inverts a trace (see :meth:`Circuit.operand_trace`) into
+    per-qubit sorted position lists, so "when is ``qubit`` next used
+    after position ``pos``?" is one bisect.  This is the shared
+    lookahead metadata behind Belady replacement and exact prefetching:
+    the schedule is static, so next-use distances are compile-time
+    facts, not oracle knowledge.
+    """
+
+    trace: Tuple[int, ...]
+    positions: Dict[int, List[int]]
+
+    @classmethod
+    def build(cls, trace: Sequence[int]) -> "TraceIndex":
+        positions: Dict[int, List[int]] = {}
+        for i, q in enumerate(trace):
+            positions.setdefault(q, []).append(i)
+        return cls(trace=tuple(trace), positions=positions)
+
+    def next_use(self, qubit: int, pos: int) -> float:
+        """Trace position of ``qubit``'s first use after ``pos``.
+
+        Returns :data:`NEVER_USED` when the qubit is never touched
+        again (or never appears in the trace at all).
+        """
+        uses = self.positions.get(qubit)
+        if not uses:
+            return NEVER_USED
+        idx = bisect_right(uses, pos)
+        return uses[idx] if idx < len(uses) else NEVER_USED
+
+    def use_count(self, qubit: int) -> int:
+        """Total uses of ``qubit`` across the whole trace."""
+        return len(self.positions.get(qubit, ()))

@@ -2,6 +2,7 @@
 
 from .cqla import CqlaDesign
 from .design_space import (
+    ENGINE_PREFETCHERS,
     ENGINE_WORKLOADS,
     EngineRow,
     HierarchyRow,
@@ -27,6 +28,7 @@ __all__ = [
     "CqlaDesign",
     "DEFAULT_POLICY",
     "DesignMetrics",
+    "ENGINE_PREFETCHERS",
     "ENGINE_WORKLOADS",
     "EngineRow",
     "FidelityBudget",

@@ -6,10 +6,10 @@ squares near ``n/8`` data-qubit-blocks.  The published pairs are kept
 verbatim; other sizes fall back to the nearest-square rule.
 
 Beyond the paper's tables, :func:`engine_sweep` enumerates the
-generalized hierarchy engine over (depth, eviction policy, workload) —
-the design axes the two-level adder-only reproduction hard-coded —
-with the same memoization and process-pool fan-out as the published
-sweeps.
+generalized hierarchy engine over (depth, eviction policy, workload,
+prefetcher) — the design axes the two-level adder-only reproduction
+hard-coded — with the same memoization and process-pool fan-out as the
+published sweeps.
 """
 
 from __future__ import annotations
@@ -184,27 +184,34 @@ def hierarchy_sweep(
 
 
 # ----------------------------------------------------------------------
-# generalized-engine sweep: (depth, policy, workload)
+# generalized-engine sweep: (depth, policy, workload, prefetch)
 # ----------------------------------------------------------------------
 
 #: Workloads of the engine study (all registered in repro.circuits).
 ENGINE_WORKLOADS = ("draper_adder", "qft", "modexp_trace")
 
+#: Prefetchers of the engine study.  ``"none"`` is the PR 2 reservation
+#: model; anything else runs the split-transaction transfer model with
+#: exact prefetching down the static fetch order.
+ENGINE_PREFETCHERS = ("none", "next_k")
+
 
 @dataclass(frozen=True)
 class EngineRow:
-    """One cell of the (depth, policy, workload) engine sweep."""
+    """One cell of the (depth, policy, workload, prefetch) engine sweep."""
 
     workload: str
     n_bits: int
     code_key: str
     depth: int
     policy: str
+    prefetch: str
     parallel_transfers: int
     hit_rate: float
     speedup: float
     transfer_bound_fraction: float
     transfers: int
+    makespan_s: float
 
 
 #: Engine-study compute-region size.  The paper's 81-qubit region would
@@ -220,7 +227,8 @@ ENGINE_CACHE_FACTOR = 1.0
 
 def _engine_cell(cell) -> EngineRow:
     """One engine cell; module-level so worker processes can pickle it."""
-    workload, n_bits, code_key, depth, policy, par, pe, factor, order = cell
+    (workload, n_bits, code_key, depth, policy, prefetch, par, pe, factor,
+     order) = cell
     from ..circuits.workloads import build_workload
     from ..sim.levels import simulate_hierarchy_run, standard_stack
 
@@ -231,18 +239,22 @@ def _engine_cell(cell) -> EngineRow:
         cache_factor=factor,
         parallel_transfers=par,
     )
-    run = simulate_hierarchy_run(stack, circuit, policy=policy, order=order)
+    run = simulate_hierarchy_run(
+        stack, circuit, policy=policy, order=order, prefetch=prefetch,
+    )
     return EngineRow(
         workload=workload,
         n_bits=n_bits,
         code_key=code_key,
         depth=depth,
         policy=policy,
+        prefetch=prefetch,
         parallel_transfers=par,
         hit_rate=run.hit_rate,
         speedup=run.speedup,
         transfer_bound_fraction=run.transfer_bound_fraction,
         transfers=run.transfers,
+        makespan_s=run.total_time_s,
     )
 
 
@@ -252,6 +264,7 @@ def engine_sweep(
     code_keys: Sequence[str] = ("steane",),
     depths: Sequence[int] = (2, 3),
     policies: Optional[Sequence[str]] = None,
+    prefetches: Sequence[str] = ENGINE_PREFETCHERS,
     transfer_options: Sequence[int] = (10,),
     compute_qubits: int = ENGINE_COMPUTE_QUBITS,
     cache_factor: float = ENGINE_CACHE_FACTOR,
@@ -261,9 +274,11 @@ def engine_sweep(
 ) -> List[EngineRow]:
     """Evaluate the generalized engine over its design axes.
 
-    ``policies=None`` takes every registered eviction policy.
-    ``workers=N`` fans the independent cells out over a process pool;
-    ``cache`` memoizes the whole sweep (see
+    ``policies=None`` takes every registered eviction policy;
+    ``prefetches`` is the sweep's fourth axis (pass
+    ``repro.sim.prefetch.available_prefetchers()`` for every registered
+    prefetcher).  ``workers=N`` fans the independent cells out over a
+    process pool; ``cache`` memoizes the whole sweep (see
     :func:`repro.perf.memo.resolve_cache` for accepted values).
     """
     if policies is None:
@@ -274,7 +289,8 @@ def engine_sweep(
     key = stable_key(
         "engine_sweep", workloads=list(workloads), sizes=list(sizes),
         code_keys=list(code_keys), depths=list(depths),
-        policies=list(policies), transfer_options=list(transfer_options),
+        policies=list(policies), prefetches=list(prefetches),
+        transfer_options=list(transfer_options),
         compute_qubits=compute_qubits, cache_factor=cache_factor,
     )
     if memo is not None:
@@ -300,13 +316,14 @@ def engine_sweep(
         for n_bits in sizes
     }
     cells = [
-        (workload, n_bits, code_key, depth, policy, par,
+        (workload, n_bits, code_key, depth, policy, prefetch, par,
          compute_qubits, cache_factor, orders[(workload, n_bits)])
         for workload in workloads
         for n_bits in sizes
         for code_key in code_keys
         for depth in depths
         for policy in policies
+        for prefetch in prefetches
         for par in transfer_options
     ]
     rows = parallel_map(_engine_cell, cells, workers=workers)

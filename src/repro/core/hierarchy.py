@@ -22,6 +22,7 @@ from functools import cached_property
 from ..sim.hierarchy_sim import HierarchyRunResult, simulate_l1_run
 from ..sim.levels import HierarchyStack, two_level_stack
 from ..sim.policies import validate_policy
+from ..sim.prefetch import validate_prefetcher
 from .cqla import CqlaDesign
 from .fidelity import FidelityBudget
 from .metrics import DesignMetrics
@@ -68,18 +69,23 @@ class MemoryHierarchy:
     ``eviction_policy`` selects the level-1 replacement policy from the
     :mod:`repro.sim.policies` registry; the default ``"lru"`` is the
     paper's configuration and runs through the memoized Table 5
-    compatibility path.
+    compatibility path.  ``prefetch`` selects a
+    :mod:`repro.sim.prefetch` prefetcher; anything but ``"none"``
+    simulates on the split-transaction transfer model with exact
+    prefetching down the static fetch order.
     """
 
     design: CqlaDesign
     parallel_transfers: int = 10
     policy: HierarchyPolicy = DEFAULT_POLICY
     eviction_policy: str = "lru"
+    prefetch: str = "none"
 
     def __post_init__(self) -> None:
         if self.parallel_transfers < 1:
             raise ValueError("need at least one parallel transfer")
         validate_policy(self.eviction_policy)
+        validate_prefetcher(self.prefetch)
 
     def stack(self) -> HierarchyStack:
         """The two-level stack this hierarchy simulates on."""
@@ -95,6 +101,7 @@ class MemoryHierarchy:
             self.design.n_bits,
             parallel_transfers=self.parallel_transfers,
             eviction_policy=self.eviction_policy,
+            prefetch=self.prefetch,
         )
 
     def l1_speedup(self) -> float:

@@ -32,6 +32,7 @@ from .levels import (
     two_level_stack,
 )
 from .policies import validate_policy
+from .prefetch import validate_prefetcher
 from .scheduler import _adder_circuit
 
 __all__ = [
@@ -73,6 +74,7 @@ def _validate_l1_args(
     cache_factor: float,
     circuit: Optional[Circuit],
     eviction_policy: str = "lru",
+    prefetch: str = "none",
 ) -> None:
     """Boundary validation: fail fast with a clear message instead of
     deep inside the event loop."""
@@ -97,6 +99,7 @@ def _validate_l1_args(
     if circuit is not None and not circuit.gates:
         raise ValueError("cannot simulate an empty circuit")
     validate_policy(eviction_policy)
+    validate_prefetcher(prefetch)
 
 
 def simulate_l1_run(
@@ -108,6 +111,7 @@ def simulate_l1_run(
     circuit: Optional[Circuit] = None,
     cache=None,
     eviction_policy: str = "lru",
+    prefetch: str = "none",
 ) -> HierarchyRunResult:
     """Simulate one adder at level 1 behind the transfer network.
 
@@ -121,6 +125,10 @@ def simulate_l1_run(
     ``eviction_policy`` selects the level-1 replacement policy from the
     :mod:`repro.sim.policies` registry; the default ``"lru"`` is the
     paper's configuration, bit-identical to the pre-engine simulator.
+    ``prefetch`` selects a :mod:`repro.sim.prefetch` prefetcher;
+    anything but the default ``"none"`` switches the engine to the
+    split-transaction transfer model and promotes upcoming operands of
+    the static fetch order ahead of demand.
 
     Runs with the default adder circuit are memoized through
     :mod:`repro.perf.memo` (keyed on every parameter that affects the
@@ -131,19 +139,19 @@ def simulate_l1_run(
     """
     _validate_l1_args(
         parallel_transfers, compute_qubits, cache_factor, circuit,
-        eviction_policy,
+        eviction_policy, prefetch,
     )
     if circuit is not None:
         return _simulate_l1_run_uncached(
             code_key, n_bits, parallel_transfers, compute_qubits,
-            cache_factor, circuit, eviction_policy,
+            cache_factor, circuit, eviction_policy, prefetch,
         )
     memo = resolve_cache(cache)
     key = stable_key(
         "simulate_l1_run", code_key=code_key, n_bits=n_bits,
         parallel_transfers=parallel_transfers,
         compute_qubits=compute_qubits, cache_factor=cache_factor,
-        eviction_policy=eviction_policy,
+        eviction_policy=eviction_policy, prefetch=prefetch,
     )
     if memo is not None:
         hit = memo.get(key)
@@ -154,7 +162,7 @@ def simulate_l1_run(
                 pass  # malformed persisted entry: fall through, recompute
     result = _simulate_l1_run_uncached(
         code_key, n_bits, parallel_transfers, compute_qubits,
-        cache_factor, None, eviction_policy,
+        cache_factor, None, eviction_policy, prefetch,
     )
     if memo is not None:
         memo.put(key, asdict(result))
@@ -169,6 +177,7 @@ def _simulate_l1_run_uncached(
     cache_factor: float,
     circuit: Optional[Circuit],
     eviction_policy: str = "lru",
+    prefetch: str = "none",
 ) -> HierarchyRunResult:
     """Engine-backed two-level run mapped onto the legacy result."""
     if circuit is None:
@@ -179,7 +188,9 @@ def _simulate_l1_run_uncached(
         cache_factor=cache_factor,
         parallel_transfers=parallel_transfers,
     )
-    run = simulate_hierarchy_run(stack, circuit, policy=eviction_policy)
+    run = simulate_hierarchy_run(
+        stack, circuit, policy=eviction_policy, prefetch=prefetch,
+    )
     return HierarchyRunResult(
         code_key=code_key,
         n_bits=n_bits,

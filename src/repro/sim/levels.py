@@ -13,28 +13,46 @@ The hierarchy is *exclusive*: logical qubits cannot be copied, so each
 lives at exactly one level.  A gate operand found below level 0 is
 teleported up hop by hop (each hop occupies a port of that hop's
 network); the insertion at level 0 may evict a resident, whose paired
-write-back holds the arrival port for the promotion latency — and may
-cascade further evictions down the stack, each paired with a write-back
-on its own network.  Intermediate levels therefore behave as victim
-caches: a qubit evicted from level 0 is one cheap hop away on its next
-use instead of a full climb from memory.
+write-back may cascade further evictions down the stack.  Intermediate
+levels therefore behave as victim caches: a qubit evicted from level 0
+is one cheap hop away on its next use instead of a full climb from
+memory.
 
-With a two-level stack and the ``lru`` policy this engine reproduces
-the original Table 5 simulator bit for bit (pinned by the equivalence
-tests against ``simulate_l1_run_reference``).
+Since PR 3 the time model runs on the discrete-event kernel of
+:mod:`repro.sim.events`.  Two transfer models are available:
+
+* the **reservation model** (``pipeline=False``, the default) keeps
+  the PR 2 semantics — ports are greedily reserved at scan time and a
+  miss's paired write-back holds the arrival port — and is pinned
+  bit-identical to the retained sequential loop
+  (:func:`simulate_hierarchy_run_reference`);
+* the **split-transaction model** (``pipeline=True``) occupies a port
+  only while a transfer is actually in flight, so multi-hop promotions
+  pipeline across networks and short transfers backfill the idle
+  windows the greedy model wastes.  On top of it, a registered
+  prefetcher (:mod:`repro.sim.prefetch`) walks the *static* optimized
+  fetch order and promotes upcoming operands into idle ports —
+  prefetching is exact, not speculative, and prefetched qubits are
+  pinned against eviction until first use.
+
+With a two-level stack and the ``lru`` policy the reservation model
+reproduces the original Table 5 simulator bit for bit (pinned by the
+equivalence tests against ``simulate_l1_run_reference``).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..circuits.circuit import Circuit
+from ..circuits.circuit import Circuit, TraceIndex
 from ..ecc.concatenated import by_key
 from ..ecc.transfer import TransferNetwork
 from .cache import simulate_optimized
+from .events import EventKernel, PortServer
 from .policies import PolicyCache, make_policy
+from .prefetch import make_prefetcher, validate_prefetcher
 
 #: Level-1 compute-region size used across the hierarchy studies: one
 #: optimally sized superblock (36 blocks) of 9 data qubits... the paper
@@ -138,9 +156,19 @@ class HierarchyStack:
                 "parallel_transfers needs one entry per adjacent-level "
                 f"network ({len(levels) - 1}), got {len(pt)}"
             )
-        for count in pt:
+        for i, count in enumerate(pt):
             if count < 1:
                 raise ValueError("need at least one parallel transfer")
+            channels = levels[i].channels_per_transfer
+            if count < channels:
+                raise ValueError(
+                    f"network {i} (joining {levels[i + 1].name} to "
+                    f"{levels[i].name}) has parallel_transfers={count} but "
+                    f"one {levels[i].code_key} transfer occupies {channels} "
+                    "channels — the network cannot fit even one transfer, "
+                    "and the port model would silently over-provision it "
+                    "to a single lane"
+                )
         object.__setattr__(self, "parallel_transfers", pt)
 
     @property
@@ -251,6 +279,9 @@ class HierarchyEngineResult:
     level_stats: Tuple[LevelStat, ...]
     fetches: Tuple[int, ...]
     writebacks: Tuple[int, ...]
+    prefetch: str = "none"
+    prefetches_issued: int = 0
+    prefetches_used: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -274,6 +305,26 @@ class HierarchyEngineResult:
         return self.transfer_wait_s / self.total_time_s
 
 
+@dataclass(frozen=True)
+class EngineAudit:
+    """Invariant bookkeeping of one engine run (for tests and studies).
+
+    ``port_peak_concurrency`` is computed from the recorded busy
+    intervals of each network, independently of the dispatch
+    accounting; ``pinned_evictions`` counts evictions of in-flight or
+    prefetched-unused qubits (must stay 0 — the pin budget guarantees
+    an unpinned victim always exists); ``conservation_ok`` is the
+    end-of-run exclusive-residency check (every qubit at exactly one
+    level, caches and location map agreeing).
+    """
+
+    port_lanes: Tuple[int, ...]
+    port_peak_concurrency: Tuple[int, ...]
+    prefetches_vetoed: int
+    pinned_evictions: int
+    conservation_ok: bool
+
+
 # ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
@@ -291,6 +342,40 @@ def _resolve_workload(workload: Union[Circuit, str]) -> Circuit:
     )
 
 
+def _resolve_order(
+    circuit: Circuit,
+    capacity: int,
+    window: Optional[int],
+    fetch: str,
+    order: Optional[Sequence[int]],
+) -> Sequence[int]:
+    """Shared fetch-order validation and scheduling."""
+    gates = circuit.gates
+    if fetch not in ("optimized", "in-order"):
+        raise ValueError(
+            f"unknown fetch mode {fetch!r}; use 'optimized' or 'in-order'"
+        )
+    if window is not None and (order is not None or fetch != "optimized"):
+        raise ValueError(
+            "window only applies to fetch='optimized' without a "
+            "precomputed order; it would be silently ignored here"
+        )
+    if order is not None and fetch != "optimized":
+        raise ValueError(
+            "order and fetch='in-order' contradict each other; a "
+            "precomputed order already fixes the schedule"
+        )
+    if order is not None:
+        if sorted(order) != list(range(len(gates))):
+            raise ValueError(
+                "order must be a permutation of the circuit's gate indices"
+            )
+        return order
+    if fetch == "optimized":
+        return simulate_optimized(circuit, capacity, window=window).order
+    return range(len(gates))
+
+
 def simulate_hierarchy_run(
     stack: HierarchyStack,
     workload: Union[Circuit, str],
@@ -299,6 +384,8 @@ def simulate_hierarchy_run(
     window: Optional[int] = None,
     fetch: str = "optimized",
     order: Optional[Sequence[int]] = None,
+    prefetch: str = "none",
+    pipeline: Optional[bool] = None,
 ) -> HierarchyEngineResult:
     """Simulate ``workload`` on the compute level of ``stack``.
 
@@ -308,10 +395,681 @@ def simulate_hierarchy_run(
     finite level replaces residents with a fresh instance of the named
     eviction ``policy``.  All qubits start at the backing store.
 
+    ``prefetch`` names a registered prefetcher
+    (:mod:`repro.sim.prefetch`); anything but ``"none"`` walks the
+    static fetch order and promotes upcoming operands ahead of demand.
+    ``pipeline`` selects the transfer model: ``False`` is the PR 2
+    reservation model (bit-identical to
+    :func:`simulate_hierarchy_run_reference`), ``True`` the
+    split-transaction model.  The default (``None``) picks the
+    reservation model for ``prefetch="none"`` and the split-transaction
+    model otherwise — prefetching requires it.
+
     The fetch schedule depends only on (circuit, compute capacity,
     window), never on the eviction policy — callers comparing policies
     can compute ``simulate_optimized(circuit, capacity).order`` once
     and pass it as ``order`` to skip redundant scheduling runs.
+    """
+    result, _ = simulate_hierarchy_run_audited(
+        stack, workload, policy,
+        window=window, fetch=fetch, order=order,
+        prefetch=prefetch, pipeline=pipeline,
+    )
+    return result
+
+
+def simulate_hierarchy_run_audited(
+    stack: HierarchyStack,
+    workload: Union[Circuit, str],
+    policy: str = "lru",
+    *,
+    window: Optional[int] = None,
+    fetch: str = "optimized",
+    order: Optional[Sequence[int]] = None,
+    prefetch: str = "none",
+    pipeline: Optional[bool] = None,
+) -> Tuple[HierarchyEngineResult, EngineAudit]:
+    """:func:`simulate_hierarchy_run` plus the :class:`EngineAudit`."""
+    circuit = _resolve_workload(workload)
+    if not circuit.gates:
+        raise ValueError("cannot simulate an empty circuit")
+    validate_prefetcher(prefetch)
+    if pipeline is None:
+        pipeline = prefetch != "none"
+    if prefetch != "none" and not pipeline:
+        raise ValueError(
+            f"prefetch={prefetch!r} requires the split-transaction "
+            "pipeline; pipeline=False contradicts it"
+        )
+    top = stack.levels[0]
+    # One policy instance per finite level, built before the (much more
+    # expensive) fetch scheduling so a bad policy name fails fast.
+    level_policies = [make_policy(policy) for _ in stack.levels[:-1]]
+    order = _resolve_order(circuit, top.capacity, window, fetch, order)
+    trace = circuit.operand_trace(order)
+    if pipeline:
+        run = _SplitTransactionRun(
+            stack, circuit, order, trace, policy, level_policies, prefetch
+        )
+        return run.run()
+    return _run_reservation(
+        stack, circuit, order, trace, policy, level_policies
+    )
+
+
+# ----------------------------------------------------------------------
+# reservation model (PR 2-compatible, bit-identical to the reference)
+# ----------------------------------------------------------------------
+
+def _run_reservation(
+    stack: HierarchyStack,
+    circuit: Circuit,
+    order: Sequence[int],
+    trace: Sequence[int],
+    policy_name: str,
+    level_policies: list,
+) -> Tuple[HierarchyEngineResult, EngineAudit]:
+    """The PR 2 time model on :class:`~repro.sim.events.PortServer`.
+
+    Ports are greedily reserved at scan time and the paired write-back
+    of an evicted qubit holds the arrival port — exactly the retained
+    sequential loop's arithmetic, so every float matches
+    :func:`simulate_hierarchy_run_reference` bit for bit.
+    """
+    gates = circuit.gates
+    top = stack.levels[0]
+    bottom = stack.depth - 1
+    caches = [
+        PolicyCache(level.capacity, level_policy, trace)
+        for level, level_policy in zip(stack.levels[:-1], level_policies)
+    ]
+    networks = stack.networks()
+    demote = [net.demote_time_s for net in networks]
+    promote = [net.promote_time_s for net in networks]
+    servers = [
+        PortServer(max(1, round(net.effective_concurrency)), name=f"net{i}",
+                   record=True)
+        for i, net in enumerate(networks)
+    ]
+
+    location = {q: bottom for q in circuit.touched_qubits()}
+    fetches = [0] * len(networks)
+    writebacks = [0] * len(networks)
+    bottom_hits = 0
+
+    top_op = top.op_time_s
+    compute_free = 0.0
+    transfer_wait = 0.0
+    compute_time = 0.0
+    pos = 0
+    for idx in order:
+        gate = gates[idx]
+        arrivals = 0.0
+        # Operands already touched for this gate are pinned: they are
+        # part of the issuing gate and cannot be evicted mid-gate.
+        # (LRU never picks them anyway — they sit at the MRU end — so
+        # the two-level-LRU compatibility path is unaffected.)
+        issued: set = set()
+        for q in gate.qubits:
+            src = location[q]
+            if src == 0:
+                caches[0].access_evicting(q, pos)  # guaranteed hit
+                issued.add(q)
+                pos += 1
+                continue
+            # The search walks down the stack: a miss at every level
+            # above the qubit's, a hit where it lives.
+            for k in range(1, src):
+                caches[k].record_miss()
+            if src == bottom:
+                bottom_hits += 1
+            else:
+                caches[src].lookup_remove(q, pos)
+            # Teleport the qubit up hop by hop; each hop occupies a
+            # port of its network, and the qubit cannot start a hop
+            # before finishing the previous one.
+            prev = 0.0
+            for k in range(src - 1, 0, -1):
+                start = servers[k].reserve(prev, demote[k])
+                prev = start + demote[k]
+                fetches[k] += 1
+            # The eviction decision precedes the final-hop reservation
+            # (it does not touch the ports) so the paired write-back's
+            # port hold can be reserved in one step.
+            _, evicted = caches[0].access_evicting(q, pos, issued)
+            location[q] = 0
+            issued.add(q)
+            hold = promote[0] if evicted is not None else 0.0
+            start = servers[0].reserve(prev, demote[0], hold)
+            arrival = start + demote[0]
+            fetches[0] += 1
+            if evicted is not None:
+                # The paired write-back of the evicted qubit keeps the
+                # arrival port busy after the demotion completes.
+                writebacks[0] += 1
+                location[evicted] = 1
+                victim = evicted
+                available = arrival + promote[0]
+                lvl = 1
+                while lvl < bottom:
+                    bumped = caches[lvl].insert(victim, pos)
+                    if bumped is None:
+                        break
+                    writebacks[lvl] += 1
+                    location[bumped] = lvl + 1
+                    start2 = servers[lvl].reserve(available, promote[lvl])
+                    available = start2 + promote[lvl]
+                    victim = bumped
+                    lvl += 1
+            if arrival > arrivals:
+                arrivals = arrival
+            pos += 1
+        start = compute_free if compute_free > arrivals else arrivals
+        if arrivals > compute_free:
+            transfer_wait += arrivals - compute_free
+        duration = gate.ec_slots * top_op
+        compute_free = start + duration
+        compute_time += duration
+
+    level_stats = _collect_level_stats(
+        stack, caches, location, bottom_hits
+    )
+    serial_bottom = (
+        sum(g.ec_slots for g in gates) * stack.levels[bottom].op_time_s
+    )
+    result = HierarchyEngineResult(
+        workload=circuit.name or f"circuit-{circuit.n_qubits}q",
+        policy=policy_name,
+        depth=stack.depth,
+        total_time_s=compute_free,
+        serial_bottom_time_s=serial_bottom,
+        compute_time_s=compute_time,
+        transfer_wait_s=transfer_wait,
+        level_stats=tuple(level_stats),
+        fetches=tuple(fetches),
+        writebacks=tuple(writebacks),
+    )
+    audit = EngineAudit(
+        port_lanes=tuple(s.lanes for s in servers),
+        port_peak_concurrency=tuple(s.max_concurrency() for s in servers),
+        prefetches_vetoed=0,
+        pinned_evictions=0,
+        conservation_ok=_check_conservation(stack, caches, location),
+    )
+    return result, audit
+
+
+def _collect_level_stats(
+    stack: HierarchyStack,
+    caches: List[PolicyCache],
+    location: Dict[int, int],
+    bottom_hits: int,
+) -> List[LevelStat]:
+    occupancy = [0] * stack.depth
+    for level in location.values():
+        occupancy[level] += 1
+    level_stats: List[LevelStat] = []
+    for i, cache in enumerate(caches):
+        level = stack.levels[i]
+        s = cache.stats
+        level_stats.append(LevelStat(
+            name=level.name,
+            capacity=level.capacity,
+            accesses=s.accesses,
+            hits=s.hits,
+            misses=s.misses,
+            evictions=s.evictions,
+            final_occupancy=occupancy[i],
+        ))
+    bottom_level = stack.levels[-1]
+    level_stats.append(LevelStat(
+        name=bottom_level.name,
+        capacity=None,
+        accesses=bottom_hits,
+        hits=bottom_hits,
+        misses=0,
+        evictions=0,
+        final_occupancy=occupancy[-1],
+    ))
+    return level_stats
+
+
+def _check_conservation(
+    stack: HierarchyStack,
+    caches: List[PolicyCache],
+    location: Dict[int, int],
+) -> bool:
+    """Exclusive residency: caches and the location map must agree."""
+    for i, cache in enumerate(caches):
+        at_level = {q for q, lvl in location.items() if lvl == i}
+        if set(cache.resident()) != at_level:
+            return False
+    bottom = stack.depth - 1
+    return all(0 <= lvl <= bottom for lvl in location.values())
+
+
+# ----------------------------------------------------------------------
+# split-transaction model (pipelined transfers + exact prefetch)
+# ----------------------------------------------------------------------
+
+#: Dispatch priorities among simultaneously-ready transfers.
+_DEMAND, _WRITEBACK, _PREFETCH = 0, 1, 2
+
+#: Compute-level slots never given to prefetch pins: headroom for the
+#: operands of the issuing gate (up to three) plus one spare victim, so
+#: a demand insertion can always find an unpinned qubit to evict.
+_PIN_MARGIN = 4
+
+
+class _Trigger:
+    """A one-shot event time: subscribers fire at (or after) it."""
+
+    __slots__ = ("time", "_subscribers")
+
+    def __init__(self) -> None:
+        self.time: Optional[float] = None
+        self._subscribers: List[Callable[[float], None]] = []
+
+    def subscribe(self, fn: Callable[[float], None]) -> None:
+        if self.time is None:
+            self._subscribers.append(fn)
+        else:
+            fn(self.time)
+
+    def fire(self, time: float) -> None:
+        self.time = time
+        subscribers, self._subscribers = self._subscribers, []
+        for fn in subscribers:
+            fn(time)
+
+
+class _Fetch:
+    """One in-flight promotion to the compute level."""
+
+    __slots__ = ("qubit", "priority", "pending", "server_k")
+
+    def __init__(self, qubit: int, priority: int) -> None:
+        self.qubit = qubit
+        self.priority = priority
+        self.pending = None  # the TransferRequest of the current hop
+        self.server_k = -1
+
+
+class _SplitTransactionRun:
+    """One engine run under the split-transaction transfer model.
+
+    Cache state (residency, policy bookkeeping, hit/miss counters)
+    advances in *scan order* — the static fetch schedule — exactly as
+    in the reservation model, so replacement decisions are identical
+    across transfer models.  Only the time domain differs: transfers
+    are queued requests against the port servers of an
+    :class:`~repro.sim.events.EventKernel`, a port is busy only while a
+    transfer is in flight, and each qubit's movements serialize through
+    a per-qubit movement queue (a qubit mid-write-back must land before
+    it can climb again).
+    """
+
+    def __init__(
+        self,
+        stack: HierarchyStack,
+        circuit: Circuit,
+        order: Sequence[int],
+        trace: Sequence[int],
+        policy_name: str,
+        level_policies: list,
+        prefetch_name: str,
+    ) -> None:
+        self.stack = stack
+        self.circuit = circuit
+        self.order = order
+        self.trace = trace
+        self.policy_name = policy_name
+        self.prefetch_name = prefetch_name
+        self.bottom = stack.depth - 1
+        self.caches = [
+            PolicyCache(level.capacity, level_policy, trace)
+            for level, level_policy in zip(stack.levels[:-1], level_policies)
+        ]
+        networks = stack.networks()
+        self.demote = [net.demote_time_s for net in networks]
+        self.promote = [net.promote_time_s for net in networks]
+        self.kernel = EventKernel()
+        self.servers = [
+            PortServer(
+                max(1, round(net.effective_concurrency)),
+                kernel=self.kernel, name=f"net{i}", record=True,
+            )
+            for i, net in enumerate(networks)
+        ]
+        touched = circuit.touched_qubits()
+        self.location = {q: self.bottom for q in touched}
+        self.avail = {q: 0.0 for q in touched}
+        #: Per-qubit queue of movements waiting on the active one; a
+        #: qubit is present exactly while some movement is unfinished.
+        self.moving: Dict[int, List[Callable[[float], None]]] = {}
+        #: In-flight promotions by qubit (all are at location 0).
+        self.in_flight_up: Dict[int, _Fetch] = {}
+        #: Prefetched qubits not yet demanded: pinned against eviction.
+        self.pinned: Set[int] = set()
+        self.index = TraceIndex.build(trace)
+        self.prefetcher = make_prefetcher(prefetch_name)
+        self.prefetcher.reset(trace, self.index, stack.depth)
+        self.fetches = [0] * len(networks)
+        self.writebacks = [0] * len(networks)
+        self.bottom_hits = 0
+        self.prefetches_issued = 0
+        self.prefetches_used = 0
+        self.prefetches_vetoed = 0
+        self.pinned_evictions = 0
+        self.pos = 0
+
+    # -- per-qubit movement sequencing ---------------------------------
+    def _enqueue_move(self, q: int, launch: Callable[[float], None]) -> None:
+        """Schedule a movement of ``q``: ``launch(settle_t)`` runs once
+        any earlier movement of ``q`` lands."""
+        queue = self.moving.get(q)
+        if queue is None:
+            self.moving[q] = []
+            launch(self.avail[q])
+        else:
+            queue.append(launch)
+
+    def _movement_done(self, q: int, t: float) -> None:
+        self.avail[q] = t
+        queue = self.moving[q]
+        if queue:
+            queue.pop(0)(t)
+        else:
+            del self.moving[q]
+
+    # -- promotions ----------------------------------------------------
+    def _launch_fetch(
+        self,
+        q: int,
+        src: int,
+        issue_t: float,
+        priority: int,
+        chain: List[Tuple[int, int]],
+    ) -> None:
+        fetch = _Fetch(q, priority)
+        self.in_flight_up[q] = fetch
+        arrival = _Trigger()
+        trigger = arrival
+        for net_k, victim in chain:
+            trigger = self._pair_writeback(trigger, net_k, victim)
+
+        def launch(settle_t: float) -> None:
+            ready = issue_t if issue_t > settle_t else settle_t
+            self._hop(fetch, src - 1, ready, arrival)
+
+        self._enqueue_move(q, launch)
+
+    def _hop(
+        self, fetch: _Fetch, k: int, ready: float, arrival: _Trigger
+    ) -> None:
+        def done(end: float) -> None:
+            self.fetches[k] += 1
+            fetch.pending = None
+            if k == 0:
+                q = fetch.qubit
+                del self.in_flight_up[q]
+                self._movement_done(q, end)
+                arrival.fire(end)
+            else:
+                self._hop(fetch, k - 1, end, arrival)
+
+        fetch.server_k = k
+        fetch.pending = self.servers[k].request(
+            ready, self.demote[k], done, priority=fetch.priority,
+        )
+
+    def _upgrade_priority(self, fetch: _Fetch) -> None:
+        """Promote a queued prefetch transfer to demand priority."""
+        fetch.priority = _DEMAND
+        req = fetch.pending
+        if req is None:
+            return
+        server = self.servers[fetch.server_k]
+        if server.withdraw(req):
+            fetch.pending = server.request(
+                req.ready, req.duration, req.on_complete, priority=_DEMAND,
+            )
+
+    # -- demotions -----------------------------------------------------
+    def _pair_writeback(
+        self, trigger: _Trigger, net_k: int, victim: int
+    ) -> _Trigger:
+        """Schedule ``victim``'s write-back once ``trigger`` fires (the
+        incoming qubit's arrival, or the previous cascade hop)."""
+        done_trigger = _Trigger()
+
+        def launch(settle_t: float) -> None:
+            def fire(t: float) -> None:
+                ready = t if t > settle_t else settle_t
+
+                def done(end: float) -> None:
+                    self.writebacks[net_k] += 1
+                    self._movement_done(victim, end)
+                    done_trigger.fire(end)
+
+                self.servers[net_k].request(
+                    ready, self.promote[net_k], done, priority=_WRITEBACK,
+                )
+
+            trigger.subscribe(fire)
+
+        self._enqueue_move(victim, launch)
+        return done_trigger
+
+    def _evict_cascade(
+        self, evicted: Optional[int]
+    ) -> List[Tuple[int, int]]:
+        """Scan-order cascade of an eviction at the compute level.
+
+        Returns the write-back chain as (network, victim) pairs; cache
+        state and the location map update immediately (scan order), the
+        transfers themselves run later in the time domain.
+        """
+        if evicted is None:
+            return []
+        if evicted in self.pinned or evicted in self.in_flight_up:
+            # The pin budget should make this unreachable; count it so
+            # the invariant tests can assert it never happens.
+            self.pinned_evictions += 1
+            self.pinned.discard(evicted)
+        chain = [(0, evicted)]
+        self.location[evicted] = 1
+        victim = evicted
+        lvl = 1
+        while lvl < self.bottom:
+            bumped = self.caches[lvl].insert(victim, self.pos)
+            if bumped is None:
+                break
+            chain.append((lvl, bumped))
+            self.location[bumped] = lvl + 1
+            victim = bumped
+            lvl += 1
+        return chain
+
+    # -- prefetching ---------------------------------------------------
+    def _victim_exclusions(self, issued) -> Set[int]:
+        pinned = set(self.pinned)
+        pinned.update(self.in_flight_up)
+        pinned.update(issued)
+        return pinned
+
+    def _issue_prefetches(self, issue_t: float, issued: Set[int]) -> None:
+        cache0 = self.caches[0]
+        cap = cache0.capacity
+        budget = cap - _PIN_MARGIN - len(self.pinned)
+        if budget <= 0:
+            return
+        # The victim choice and exclusion set only change when a
+        # prefetch is actually accepted (vetoed candidates mutate
+        # nothing), so both are cached per acceptance epoch instead of
+        # being recomputed for every candidate.
+        exclusions: Optional[Set[int]] = None
+        victim: Optional[int] = None
+        victim_next: float = 0.0
+        for q in self.prefetcher.candidates(self.pos - 1, self.location):
+            if budget <= 0:
+                break
+            src = self.location[q]
+            if src == 0 or q in self.moving:
+                continue
+            if exclusions is None:
+                # ``issued`` keeps the current gate's operands out of
+                # victim selection: they cannot be teleported away
+                # mid-gate (a last-use operand would otherwise be the
+                # lookahead policies' favorite victim, stalling the
+                # gate on its own prefetch-induced write-back).
+                exclusions = self._victim_exclusions(issued)
+                victim = None
+                if len(cache0) >= cap:
+                    victim = cache0.peek_victim(self.pos, exclusions)
+                    if victim is not None and victim in exclusions:
+                        break  # unsatisfiable pin: no victim this gate
+                    if victim is not None:
+                        victim_next = self.index.next_use(
+                            victim, self.pos - 1
+                        )
+            if victim is not None:
+                # Exactness veto: an exact prefetch may reorder
+                # transfers but never displace a qubit the static
+                # schedule needs no later than the prefetched one —
+                # the injected miss (and its serialized refill wait)
+                # costs more than the prefetch hides.
+                if victim_next <= self.index.next_use(q, self.pos - 1):
+                    self.prefetches_vetoed += 1
+                    continue
+            if src != self.bottom:
+                # A prefetch is not a demand access: pull the qubit out
+                # quietly, without perturbing the level's hit counters.
+                self.caches[src].remove(q)
+            evicted = cache0.insert(q, self.pos, exclusions)
+            self.location[q] = 0
+            self.pinned.add(q)
+            chain = self._evict_cascade(evicted)
+            self._launch_fetch(q, src, issue_t, _PREFETCH, chain)
+            self.prefetches_issued += 1
+            budget -= 1
+            exclusions = None  # state changed: recompute next round
+
+    # -- the run -------------------------------------------------------
+    def run(self) -> Tuple[HierarchyEngineResult, EngineAudit]:
+        gates = self.circuit.gates
+        caches = self.caches
+        top_op = self.stack.levels[0].op_time_s
+        compute_free = 0.0
+        transfer_wait = 0.0
+        compute_time = 0.0
+        for idx in self.order:
+            gate = gates[idx]
+            issue_t = compute_free
+            issued: Set[int] = set()
+            for q in gate.qubits:
+                src = self.location[q]
+                if src == 0:
+                    caches[0].access_evicting(q, self.pos)  # guaranteed hit
+                    if q in self.pinned:
+                        self.pinned.discard(q)
+                        self.prefetches_used += 1
+                    fetch = self.in_flight_up.get(q)
+                    if fetch is not None and fetch.priority != _DEMAND:
+                        self._upgrade_priority(fetch)
+                else:
+                    for k in range(1, src):
+                        caches[k].record_miss()
+                    if src == self.bottom:
+                        self.bottom_hits += 1
+                    else:
+                        caches[src].lookup_remove(q, self.pos)
+                    _, evicted = caches[0].access_evicting(
+                        q, self.pos, self._victim_exclusions(issued)
+                    )
+                    self.location[q] = 0
+                    chain = self._evict_cascade(evicted)
+                    self._launch_fetch(q, src, issue_t, _DEMAND, chain)
+                issued.add(q)
+                self.pos += 1
+            self._issue_prefetches(issue_t, issued)
+            operands = set(gate.qubits)
+            while any(q in self.moving for q in operands):
+                self.kernel.step()
+            arrivals = 0.0
+            for q in operands:
+                if self.avail[q] > arrivals:
+                    arrivals = self.avail[q]
+            start = compute_free if compute_free > arrivals else arrivals
+            if arrivals > compute_free:
+                transfer_wait += arrivals - compute_free
+            duration = gate.ec_slots * top_op
+            compute_free = start + duration
+            compute_time += duration
+        # Let trailing write-backs land so the audit sees settled state;
+        # the makespan is the compute-level completion, as in PR 2.
+        self.kernel.run()
+
+        level_stats = _collect_level_stats(
+            self.stack, caches, self.location, self.bottom_hits
+        )
+        serial_bottom = (
+            sum(g.ec_slots for g in gates)
+            * self.stack.levels[self.bottom].op_time_s
+        )
+        circuit = self.circuit
+        result = HierarchyEngineResult(
+            workload=circuit.name or f"circuit-{circuit.n_qubits}q",
+            policy=self.policy_name,
+            depth=self.stack.depth,
+            total_time_s=compute_free,
+            serial_bottom_time_s=serial_bottom,
+            compute_time_s=compute_time,
+            transfer_wait_s=transfer_wait,
+            level_stats=tuple(level_stats),
+            fetches=tuple(self.fetches),
+            writebacks=tuple(self.writebacks),
+            prefetch=self.prefetch_name,
+            prefetches_issued=self.prefetches_issued,
+            prefetches_used=self.prefetches_used,
+        )
+        conservation = (
+            not self.moving
+            and not self.in_flight_up
+            and _check_conservation(self.stack, caches, self.location)
+        )
+        audit = EngineAudit(
+            port_lanes=tuple(s.lanes for s in self.servers),
+            port_peak_concurrency=tuple(
+                s.max_concurrency() for s in self.servers
+            ),
+            prefetches_vetoed=self.prefetches_vetoed,
+            pinned_evictions=self.pinned_evictions,
+            conservation_ok=conservation,
+        )
+        return result, audit
+
+
+# ----------------------------------------------------------------------
+# retained reference (the PR 2 sequential loop, verbatim)
+# ----------------------------------------------------------------------
+
+def simulate_hierarchy_run_reference(
+    stack: HierarchyStack,
+    workload: Union[Circuit, str],
+    policy: str = "lru",
+    *,
+    window: Optional[int] = None,
+    fetch: str = "optimized",
+    order: Optional[Sequence[int]] = None,
+) -> HierarchyEngineResult:
+    """The PR 2 sequential engine loop, retained verbatim.
+
+    This is the executable specification the event-kernel engine's
+    reservation model is pinned against: same fetch order, same
+    replacement decisions, same greedy port arithmetic, field-for-field
+    identical :class:`HierarchyEngineResult` (the prefetch fields stay
+    at their defaults).
     """
     circuit = _resolve_workload(workload)
     if not circuit.gates:
@@ -332,8 +1090,6 @@ def simulate_hierarchy_run(
         )
     gates = circuit.gates
     top = stack.levels[0]
-    # One policy instance per finite level, built before the (much more
-    # expensive) fetch scheduling so a bad policy name fails fast.
     level_policies = [make_policy(policy) for _ in stack.levels[:-1]]
     if order is not None:
         if sorted(order) != list(range(len(gates))):
@@ -374,10 +1130,6 @@ def simulate_hierarchy_run(
     for idx in order:
         gate = gates[idx]
         arrivals = 0.0
-        # Operands already touched for this gate are pinned: they are
-        # part of the issuing gate and cannot be evicted mid-gate.
-        # (LRU never picks them anyway — they sit at the MRU end — so
-        # the two-level-LRU compatibility path is unaffected.)
         issued: set = set()
         for q in gate.qubits:
             src = location[q]
@@ -386,17 +1138,12 @@ def simulate_hierarchy_run(
                 issued.add(q)
                 pos += 1
                 continue
-            # The search walks down the stack: a miss at every level
-            # above the qubit's, a hit where it lives.
             for k in range(1, src):
                 caches[k].record_miss()
             if src == bottom:
                 bottom_hits += 1
             else:
                 caches[src].lookup_remove(q, pos)
-            # Teleport the qubit up hop by hop; each hop occupies a
-            # port of its network, and the qubit cannot start a hop
-            # before finishing the previous one.
             prev = 0.0
             for k in range(src - 1, 0, -1):
                 port = heapq.heappop(ports[k])
@@ -411,8 +1158,6 @@ def simulate_hierarchy_run(
             _, evicted = caches[0].access_evicting(q, pos, issued)
             location[q] = 0
             issued.add(q)
-            # The paired write-back of the evicted qubit keeps the
-            # arrival port busy after the demotion completes.
             busy = arrival
             if evicted is not None:
                 busy = arrival + promote[0]
@@ -445,32 +1190,8 @@ def simulate_hierarchy_run(
         compute_free = start + duration
         compute_time += duration
 
-    occupancy = [0] * stack.depth
-    for level in location.values():
-        occupancy[level] += 1
-    level_stats: List[LevelStat] = []
-    for i, cache in enumerate(caches):
-        level = stack.levels[i]
-        s = cache.stats
-        level_stats.append(LevelStat(
-            name=level.name,
-            capacity=level.capacity,
-            accesses=s.accesses,
-            hits=s.hits,
-            misses=s.misses,
-            evictions=s.evictions,
-            final_occupancy=occupancy[i],
-        ))
+    level_stats = _collect_level_stats(stack, caches, location, bottom_hits)
     bottom_level = stack.levels[bottom]
-    level_stats.append(LevelStat(
-        name=bottom_level.name,
-        capacity=None,
-        accesses=bottom_hits,
-        hits=bottom_hits,
-        misses=0,
-        evictions=0,
-        final_occupancy=occupancy[bottom],
-    ))
     serial_bottom = sum(g.ec_slots for g in gates) * bottom_level.op_time_s
     return HierarchyEngineResult(
         workload=circuit.name or f"circuit-{circuit.n_qubits}q",

@@ -28,7 +28,6 @@ its event stream is exactly that of :class:`~repro.sim.cache.LruCache`.
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from collections import OrderedDict
 from typing import (
     Callable,
@@ -41,10 +40,11 @@ from typing import (
     Type,
 )
 
+from ..circuits.circuit import NEVER_USED, TraceIndex
 from .cache import CacheStats
 
 #: Sentinel "never used again" distance for Belady victim selection.
-_NEVER = float("inf")
+_NEVER = NEVER_USED
 
 
 class EvictionPolicy:
@@ -238,17 +238,12 @@ class BeladyPolicy(_RecencyOrdered):
 
     def reset(self, capacity: int, trace: Sequence[int]) -> None:
         super().reset(capacity, trace)
-        positions: Dict[int, List[int]] = {}
-        for i, q in enumerate(trace):
-            positions.setdefault(q, []).append(i)
-        self._positions = positions
+        # The same static-schedule lookahead metadata the prefetchers
+        # use (one shared implementation of "when is q needed next?").
+        self._index = TraceIndex.build(trace)
 
     def _next_use(self, qubit: int, pos: int) -> float:
-        uses = self._positions.get(qubit)
-        if not uses:
-            return _NEVER
-        idx = bisect_right(uses, pos)
-        return uses[idx] if idx < len(uses) else _NEVER
+        return self._index.next_use(qubit, pos)
 
     def victim(self, pos: int, pinned: Collection[int] = ()) -> int:
         best = None
@@ -341,9 +336,36 @@ class PolicyCache:
         self.stats.accesses += 1
         self.stats.misses += 1
 
-    def insert(self, qubit: int, pos: int) -> Optional[int]:
-        """Accept a write-back from above; returns the displaced qubit."""
-        return self._insert(qubit, pos, ())
+    def remove(self, qubit: int) -> None:
+        """Pull ``qubit`` out without touching the access counters.
+
+        Prefetch promotions use this: a prefetch is not a demand
+        access, so it must not perturb the level's hit statistics.
+        """
+        del self._resident[qubit]
+        self.policy.on_remove(qubit)
+
+    def peek_victim(
+        self, pos: int, pinned: Collection[int] = ()
+    ) -> Optional[int]:
+        """The qubit the policy would evict now, without evicting it.
+
+        ``None`` while the level still has free capacity.  Note the
+        unsatisfiable-pin fallback applies: the returned qubit may be
+        pinned if every resident is — callers vetoing on the victim
+        must check membership themselves.
+        """
+        if len(self._resident) < self.capacity:
+            return None
+        return self.policy.victim(pos, pinned)
+
+    def insert(
+        self, qubit: int, pos: int, pinned: Collection[int] = ()
+    ) -> Optional[int]:
+        """Accept a non-access insertion (a write-back demoted from the
+        level above, or a prefetched promotion); returns the displaced
+        qubit."""
+        return self._insert(qubit, pos, pinned)
 
     def _insert(
         self, qubit: int, pos: int, pinned: Collection[int]

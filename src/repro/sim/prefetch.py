@@ -1,0 +1,214 @@
+"""Exact prefetchers for the split-transaction hierarchy engine.
+
+The optimized fetch schedule is *static* — every future operand access
+is known at compile time — so prefetching here is exact, not
+speculative: a prefetcher walks the scheduled operand trace ahead of
+the issue point and names qubits worth promoting into idle transfer
+ports before their demand use.  The engine pins a prefetched qubit
+against eviction until its first use and vetoes any prefetch whose
+eviction victim would be needed *sooner* than the prefetched qubit
+(next-use distances come from the shared
+:class:`~repro.circuits.circuit.TraceIndex`), so an exact prefetch can
+reorder transfers but never inject a miss the demand schedule would not
+have taken.
+
+Three prefetchers ship with the engine:
+
+* ``none`` — demand fetching only (the reference behavior);
+* ``next_k`` — promote the next ``k`` distinct upcoming operands that
+  are not already at the compute level, in trace order;
+* ``distance`` — the same ``next_k`` candidate walk re-ranked by hop
+  distance: the deepest qubits issue first, so the slow bottom
+  networks see their requests earliest.
+
+Register new prefetchers with :func:`register_prefetcher`; the engine
+instantiates one fresh prefetcher per run via :func:`make_prefetcher`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Type
+
+from ..circuits.circuit import TraceIndex
+
+__all__ = [
+    "Prefetcher",
+    "available_prefetchers",
+    "make_prefetcher",
+    "register_prefetcher",
+    "validate_prefetcher",
+]
+
+
+class Prefetcher:
+    """Walks the static operand trace ahead of the issue point.
+
+    The engine calls :meth:`reset` once with the scheduled trace, its
+    :class:`~repro.circuits.circuit.TraceIndex`, and the stack depth,
+    then :meth:`candidates` at every gate issue.  ``candidates`` names
+    qubits worth promoting, best first; the engine filters them against
+    residency, in-flight transfers, pinning budget and the exactness
+    veto, so a prefetcher only ranks — it never moves anything itself.
+    """
+
+    name = "abstract"
+
+    def reset(
+        self, trace: Sequence[int], index: TraceIndex, depth: int
+    ) -> None:
+        self._trace = trace
+        self._index = index
+        self._depth = depth
+
+    def candidates(
+        self, pos: int, location: Mapping[int, int]
+    ) -> List[int]:
+        """Qubits to promote, best first.
+
+        ``pos`` is the trace position of the operand about to issue;
+        ``location`` maps each qubit to its current stack level (0 is
+        the compute level).
+        """
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[[], Prefetcher]] = {}
+
+
+def register_prefetcher(cls: Type[Prefetcher]) -> Type[Prefetcher]:
+    """Class decorator adding a :class:`Prefetcher` to the registry."""
+    name = cls.name
+    if not name or name == "abstract":
+        raise ValueError("prefetcher classes must set a concrete `name`")
+    if name in _REGISTRY:
+        raise ValueError(f"prefetcher {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def validate_prefetcher(name: str) -> None:
+    """Raise ValueError unless ``name`` is a registered prefetcher."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; registered prefetchers: "
+            f"{', '.join(available_prefetchers())}"
+        )
+
+
+def make_prefetcher(name: str) -> Prefetcher:
+    """A fresh prefetcher instance for one engine run."""
+    validate_prefetcher(name)
+    return _REGISTRY[name]()
+
+
+def available_prefetchers() -> Tuple[str, ...]:
+    """All registered prefetcher names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# shipped prefetchers
+# ----------------------------------------------------------------------
+
+@register_prefetcher
+class NonePrefetcher(Prefetcher):
+    """Demand fetching only — never proposes a promotion."""
+
+    name = "none"
+
+    def candidates(
+        self, pos: int, location: Mapping[int, int]
+    ) -> List[int]:
+        return []
+
+
+class _OrderWalker(Prefetcher):
+    """Shared scan: the next ``k`` distinct *non-resident* qubits.
+
+    The walk measures depth in prefetch candidates, not raw operand
+    slots: a stretch of the schedule that is already resident costs no
+    lookahead (the window would otherwise stop sliding whenever a
+    long-latency miss stalls the issue pointer, collapsing the
+    pipeline to one transfer per round trip).  ``horizon`` bounds the
+    scan so a run never goes quadratic in the trace length.
+    """
+
+    def __init__(self, k: int, horizon_factor: int = 8,
+                 min_horizon: int = 512) -> None:
+        if k < 1:
+            raise ValueError("prefetch depth must be positive")
+        self.k = k
+        self.horizon = max(horizon_factor * k, min_horizon)
+
+    def _walk(
+        self, pos: int, location: Mapping[int, int]
+    ) -> List[Tuple[int, int]]:
+        """(trace offset, qubit) of upcoming non-resident operands."""
+        found: List[Tuple[int, int]] = []
+        seen = set()
+        for j, q in enumerate(self._trace[pos + 1: pos + 1 + self.horizon]):
+            if q in seen:
+                continue
+            seen.add(q)
+            if location.get(q, 0) != 0:
+                found.append((j, q))
+                if len(found) >= self.k:
+                    break
+        return found
+
+
+@register_prefetcher
+class NextKPrefetcher(_OrderWalker):
+    """Promote the next ``k`` distinct non-resident operands, in trace
+    order — the straight exact-prefetch walk down the fetch schedule.
+
+    ``k`` bounds how many prefetches are proposed per issue point; it
+    should comfortably exceed the stack's total port count or the
+    ports starve between gates.
+    """
+
+    name = "next_k"
+
+    def __init__(self, k: int = 64) -> None:
+        super().__init__(k)
+
+    def candidates(
+        self, pos: int, location: Mapping[int, int]
+    ) -> List[int]:
+        return [q for _, q in self._walk(pos, location)]
+
+
+@register_prefetcher
+class DistancePrefetcher(Prefetcher):
+    """The ``next_k`` walk re-ranked by hop distance: deepest first.
+
+    A qubit more levels down crosses more (and slower) networks, so
+    its transfer chain is started earliest; ties break toward trace
+    order.  Same candidate set as ``next_k`` — only the issue order
+    differs.
+    """
+
+    name = "distance"
+
+    def __init__(self, k: int = 64) -> None:
+        self._walker = _OrderWalker(k)
+
+    def reset(
+        self, trace: Sequence[int], index: TraceIndex, depth: int
+    ) -> None:
+        super().reset(trace, index, depth)
+        self._walker.reset(trace, index, depth)
+
+    def candidates(
+        self, pos: int, location: Mapping[int, int]
+    ) -> List[int]:
+        ranked = [
+            (-location.get(q, 0), j, q)
+            for j, q in self._walker._walk(pos, location)
+        ]
+        ranked.sort()
+        return [q for _, _, q in ranked]

@@ -81,6 +81,7 @@ class TestCheckBaseline:
             (REPO / "benchmarks" / "quick_baseline.json").read_text()
         )
         assert "engine_3level_policies_512" in data["kernels"]
+        assert "prefetch_3level_next_k_512" in data["kernels"]
         assert data["meta"]["calibration_s"] > 0
         # The gate's absolute slack must stay small relative to every
         # gated kernel, or relative regressions hide inside it.

@@ -43,6 +43,7 @@ class TestOtherExamples:
         "error_correction_study",
         "design_space_exploration",
         "policy_comparison",
+        "prefetch_comparison",
     ])
     def test_importable_with_main(self, name):
         module = _load(name)
@@ -71,4 +72,20 @@ class TestPolicyComparisonExecution:
         for token in ("belady", "lru", "fifo", "score",
                       "draper_adder", "qft", "modexp_trace",
                       "3-level stack"):
+            assert token in out, token
+
+
+class TestPrefetchComparisonExecution:
+    def test_small_run(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "prefetch_comparison.py"), "16"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        # Every registered policy and prefetcher shows up in the table,
+        # plus the demand-vs-prefetch makespan headline.
+        for token in ("belady", "lru", "fifo", "score",
+                      "none", "next_k", "distance",
+                      "draper_adder", "qft", "makespan", "prefetches used"):
             assert token in out, token

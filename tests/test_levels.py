@@ -80,6 +80,21 @@ class TestHierarchyStack:
         with pytest.raises(ValueError, match="at least two levels"):
             standard_stack("steane", 1)
 
+    def test_parallel_transfers_below_channel_requirement_rejected(self):
+        # One Bacon-Shor transfer occupies 3 teleport channels; a
+        # network provisioned with fewer could never dispatch a single
+        # transfer once ports model channel occupancy.  Fail at
+        # construction, naming the starved network.
+        with pytest.raises(ValueError, match="network 0"):
+            two_level_stack("bacon_shor", parallel_transfers=2)
+        with pytest.raises(ValueError, match="network 1"):
+            standard_stack("bacon_shor", 3, parallel_transfers=(3, 2))
+        # At exactly the channel requirement the stack is valid.
+        stack = two_level_stack("bacon_shor", parallel_transfers=3)
+        assert stack.parallel_transfers == (3,)
+        # Steane needs one channel, so parallel_transfers=1 stays legal.
+        assert two_level_stack("steane", parallel_transfers=1)
+
 
 class TestWorkloadRegistry:
     def test_required_workloads_registered(self):
@@ -193,6 +208,35 @@ class TestEngineRuns:
         with pytest.raises(ValueError, match="contradict"):
             simulate_hierarchy_run(stack, "qft", fetch="in-order",
                                    order=[0, 1])
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            simulate_hierarchy_run(stack, "qft", prefetch="oracle")
+
+    def test_prefetch_knob_threads_through(self):
+        from repro.core.cqla import CqlaDesign
+        from repro.core.design_space import engine_sweep
+        from repro.core.hierarchy import MemoryHierarchy
+        from repro.sim.hierarchy_sim import simulate_l1_run
+
+        run = simulate_l1_run("steane", 32, cache=False, prefetch="next_k")
+        assert run.l1_time_s > 0
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            simulate_l1_run("steane", 32, prefetch="oracle")
+
+        design = CqlaDesign("steane", 64, 16)
+        hierarchy = MemoryHierarchy(design, prefetch="next_k")
+        assert hierarchy.l1_speedup() > 0
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            MemoryHierarchy(design, prefetch="oracle")
+
+        rows = engine_sweep(
+            workloads=("draper_adder",), sizes=(16,), depths=(3,),
+            policies=("lru",), prefetches=("none", "next_k"),
+            cache=False,
+        )
+        by_prefetch = {row.prefetch: row for row in rows}
+        assert set(by_prefetch) == {"none", "next_k"}
+        assert by_prefetch["none"].makespan_s > 0
+        assert by_prefetch["next_k"].makespan_s > 0
 
     def test_precomputed_order_matches_inline_scheduling(self):
         stack = two_level_stack("steane", compute_qubits=12,

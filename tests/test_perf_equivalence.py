@@ -11,6 +11,7 @@ tests pin the new paths to them.
 
 import pytest
 
+from repro.circuits.workloads import build_workload
 from repro.core.design_space import hierarchy_sweep
 from repro.ecc.bacon_shor import bacon_shor_code
 from repro.ecc.montecarlo import (
@@ -21,6 +22,12 @@ from repro.ecc.montecarlo import (
 from repro.ecc.steane import steane_code
 from repro.sim.cache import simulate_optimized, simulate_optimized_reference
 from repro.sim.hierarchy_sim import simulate_l1_run, simulate_l1_run_reference
+from repro.sim.levels import (
+    simulate_hierarchy_run,
+    simulate_hierarchy_run_reference,
+    standard_stack,
+)
+from repro.sim.policies import available_policies
 from repro.sim.scheduler import _adder_circuit
 
 COMPUTE_QUBITS = 27
@@ -96,6 +103,53 @@ class TestHierarchyEngineEquivalence:
                 parallel_transfers=row.parallel_transfers,
             )
             assert row.l1_speedup == ref.l1_speedup
+
+
+class TestEventKernelEngineEquivalence:
+    """The event-kernel engine's reservation model (prefetch="none",
+    pipelining disabled) must reproduce the retained PR 2 sequential
+    loop field for field on every engine-sweep cell shape."""
+
+    @pytest.mark.parametrize("workload", ["draper_adder", "qft",
+                                          "modexp_trace"])
+    @pytest.mark.parametrize("depth", [2, 3, 4])
+    @pytest.mark.parametrize("policy", available_policies())
+    def test_engine_sweep_cells_bit_identical(self, workload, depth, policy):
+        stack = standard_stack("steane", depth, compute_qubits=12,
+                               cache_factor=1.0)
+        circuit = build_workload(workload, 16)
+        engine = simulate_hierarchy_run(stack, circuit, policy=policy)
+        ref = simulate_hierarchy_run_reference(stack, circuit, policy=policy)
+        # Frozen-dataclass equality: every field exactly equal, floats
+        # included — no tolerance.
+        assert engine == ref
+
+    @pytest.mark.parametrize("code_key", ["steane", "bacon_shor"])
+    def test_paper_geometry_bit_identical(self, code_key):
+        stack = standard_stack(code_key, 3)
+        circuit = build_workload("draper_adder", 64)
+        engine = simulate_hierarchy_run(stack, circuit)
+        ref = simulate_hierarchy_run_reference(stack, circuit)
+        assert engine == ref
+
+    def test_explicit_pipeline_false_with_prefetch_raises(self):
+        stack = standard_stack("steane", 3, compute_qubits=12,
+                               cache_factor=1.0)
+        with pytest.raises(ValueError, match="pipeline"):
+            simulate_hierarchy_run(stack, "qft", prefetch="next_k",
+                                   pipeline=False)
+
+    def test_reference_validates_like_the_engine(self):
+        # The reference is the executable spec: a typo'd fetch mode
+        # must raise, not silently run the in-order schedule.
+        stack = standard_stack("steane", 3, compute_qubits=12,
+                               cache_factor=1.0)
+        with pytest.raises(ValueError, match="unknown fetch mode"):
+            simulate_hierarchy_run_reference(stack, "qft",
+                                             fetch="optimised")
+        with pytest.raises(ValueError, match="contradict"):
+            simulate_hierarchy_run_reference(stack, "qft",
+                                             fetch="in-order", order=[0, 1])
 
 
 class TestMonteCarloEquivalence:
