@@ -133,6 +133,35 @@ def _bench_specialization_sweep():
     return run
 
 
+def _bench_sweep_store(loops: int = 3):
+    """The sharded-sweep store round trip: compute a small engine grid
+    into a fresh result store (cold, one atomic record + index update
+    per cell), then reassemble the rows read-only (warm merge path)."""
+    import shutil
+    import tempfile
+
+    from repro.core.design_space import EngineRow, engine_cell, engine_grid
+    from repro.perf.store import ResultStore
+    from repro.sweep.runner import compute_grid, rows_from_store
+
+    grid = engine_grid(workloads=("draper_adder",), sizes=(16,), depths=(2,),
+                       prefetches=("none",))
+
+    def run():
+        rows = None
+        for _ in range(loops):
+            tmp = tempfile.mkdtemp(prefix="bench-sweep-store-")
+            try:
+                store = ResultStore(tmp)
+                compute_grid(grid, engine_cell, EngineRow, store=store)
+                rows = rows_from_store(grid, EngineRow, store)
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+        return rows
+
+    return run
+
+
 def _clear_memo_state() -> None:
     """Reset in-process caches so every kernel times the cold path."""
     try:
@@ -147,6 +176,13 @@ def _clear_memo_state() -> None:
         default_cache().clear_memory()
     except Exception:
         # Seed tree (pre repro.perf) — nothing to clear.
+        pass
+    try:
+        from repro.core.design_space import _fetch_order
+
+        _fetch_order.cache_clear()
+    except Exception:
+        # Pre-sharded-sweep tree — nothing to clear.
         pass
 
 
@@ -172,6 +208,7 @@ def kernel_set(quick: bool):
             "mc_steane_2000_x8": _times(_bench_mc("steane", 2000), 8),
             "engine_3level_policies_512": _bench_engine(512),
             "prefetch_3level_next_k_512": _bench_prefetch(512),
+            "sweep_store_roundtrip_x20": _bench_sweep_store(20),
         }
     return {
         "fetch_optimized_256": _bench_fetch(256),
@@ -182,6 +219,7 @@ def kernel_set(quick: bool):
         "hierarchy_sweep": _bench_hierarchy_sweep(),
         "engine_3level_policies_256": _bench_engine(256),
         "prefetch_3level_next_k_512": _bench_prefetch(512),
+        "sweep_store_roundtrip_x20": _bench_sweep_store(20),
     }
 
 

@@ -6,7 +6,7 @@ at both block counts.
 """
 
 from repro.analysis.paper_values import TABLE4
-from repro.analysis.tables import table4, table4_text
+from repro.analysis.tables import table4_text
 from repro.core.design_space import specialization_sweep
 
 

@@ -11,7 +11,7 @@ Run:  python examples/design_space_exploration.py [n_bits]
 import sys
 
 from repro.analysis.report import format_table
-from repro.analysis.sensitivity import memory_pressure, policy_ablation
+from repro.analysis.sensitivity import memory_pressure
 from repro.arch.regions import CqlaFloorplan
 from repro.circuits.modexp import modexp_logical_qubits
 from repro.core import CqlaDesign

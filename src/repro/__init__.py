@@ -63,4 +63,5 @@ __all__ = [
     "now_params",
     "qft_circuit",
     "specialization_sweep",
+    "steane_code",
 ]

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from ..circuits.modexp import modexp_logical_qubits
 from ..core.cqla import CqlaDesign
 from ..core.hierarchy import HierarchyPolicy, MemoryHierarchy
 from ..ecc.concatenated import ConcatenatedCode, spec_by_key

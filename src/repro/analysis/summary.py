@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from ..arch.bandwidth import optimal_superblock_size
 from ..core.design_space import hierarchy_sweep, specialization_sweep
 from ..ecc.concatenated import by_key
-from ..sim.comm import qft_breakdown
 from ..sim.scheduler import parallelism_profiles
 from .report import format_table
 

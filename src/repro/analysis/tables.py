@@ -221,16 +221,26 @@ def engine_table(**kwargs) -> List[EngineRow]:
     return engine_sweep(**kwargs)
 
 
-def engine_table_text(**kwargs) -> str:
-    """The engine design space rendered like the paper tables.
+def engine_table_from_store(store, **grid_kwargs) -> List[EngineRow]:
+    """Engine-sweep rows read straight from a sharded-sweep result store.
 
-    The ``makespan`` column is the simulated compute-level completion
-    time; comparing a workload's ``none`` row (demand fetching on the
-    reservation model) against its prefetcher rows (split-transaction
-    model) reads off the transfer-overlap win directly.
+    ``store`` is a directory path or :class:`repro.perf.store.ResultStore`
+    filled by ``python -m repro.sweep run`` workers; ``grid_kwargs``
+    select the grid exactly as for
+    :func:`repro.core.design_space.engine_grid`.  Nothing is computed:
+    a store missing (or holding corrupt records for) any grid cell
+    raises :class:`repro.sweep.runner.MissingCells`, so a table can
+    never silently render from a partial sweep.
     """
+    from ..core.design_space import engine_grid
+    from ..sweep.runner import rows_from_store
+
+    return rows_from_store(engine_grid(**grid_kwargs), EngineRow, store)
+
+
+def _render_engine_table(rows: List[EngineRow]) -> str:
     body = []
-    for row in engine_table(**kwargs):
+    for row in rows:
         body.append([
             row.workload, row.n_bits, row.code_key, row.depth, row.policy,
             row.prefetch, row.hit_rate, row.speedup,
@@ -243,3 +253,19 @@ def engine_table_text(**kwargs) -> str:
         title=("Extension: hierarchy-engine design space "
                "(depth x policy x workload x prefetch)"),
     )
+
+
+def engine_table_text(**kwargs) -> str:
+    """The engine design space rendered like the paper tables.
+
+    The ``makespan`` column is the simulated compute-level completion
+    time; comparing a workload's ``none`` row (demand fetching on the
+    reservation model) against its prefetcher rows (split-transaction
+    model) reads off the transfer-overlap win directly.
+    """
+    return _render_engine_table(engine_table(**kwargs))
+
+
+def engine_table_text_from_store(store, **grid_kwargs) -> str:
+    """:func:`engine_table_text`, but rendered from stored records only."""
+    return _render_engine_table(engine_table_from_store(store, **grid_kwargs))

@@ -11,10 +11,10 @@ in the simulators and :mod:`repro.core`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from ..ecc.concatenated import ConcatenatedCode, by_key
+from ..ecc.concatenated import by_key
 from ..ecc.transfer import TransferNetwork
 from . import tile
 from .bandwidth import optimal_superblock_size

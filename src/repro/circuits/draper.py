@@ -32,7 +32,6 @@ in the test suite by classical simulation over random operands.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 

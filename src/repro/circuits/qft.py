@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .circuit import Circuit
-from .gates import GateKind, cphase_gate, h_gate
+from .gates import cphase_gate, h_gate
 
 
 def qft_circuit(n: int, approximation_degree: Optional[int] = None) -> Circuit:

@@ -10,9 +10,12 @@ from .design_space import (
     PAPER_INPUT_SIZES,
     SpecializationRow,
     block_choices,
+    engine_grid,
     engine_sweep,
+    hierarchy_grid,
     hierarchy_sweep,
     performance_blocks,
+    specialization_grid,
     specialization_sweep,
 )
 from .fidelity import FidelityBudget, application_kq
@@ -34,6 +37,7 @@ __all__ = [
     "FidelityBudget",
     "GranularityStudy",
     "HierarchyPolicy",
+    "engine_grid",
     "engine_sweep",
     "fine_grained_gain",
     "granularity_study",
@@ -45,8 +49,10 @@ __all__ = [
     "application_kq",
     "block_choices",
     "gain_product",
+    "hierarchy_grid",
     "hierarchy_sweep",
     "performance_blocks",
+    "specialization_grid",
     "specialization_sweep",
     "utilization_efficiency",
 ]

@@ -10,21 +10,38 @@ generalized hierarchy engine over (depth, eviction policy, workload,
 prefetcher) — the design axes the two-level adder-only reproduction
 hard-coded — with the same memoization and process-pool fan-out as the
 published sweeps.
+
+Every sweep enumerates its cells through one shared abstraction: a
+``*_grid()`` builder returns the canonical :class:`repro.sweep.grid.Grid`
+(kernel name + ordered, content-hashed cells), and
+:func:`repro.sweep.runner.compute_grid` executes it — reading through an
+optional durable :class:`repro.perf.store.ResultStore` (``store=``)
+before computing, so a sweep can be sharded across processes and hosts
+(``python -m repro.sweep``) and still reassemble bit-identically.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..perf.memo import resolve_cache, stable_key
-from ..perf.parallel import parallel_map
+from ..sweep.grid import Cell, Grid
+from ..sweep.runner import compute_grid, persist_rows
 from .cqla import CqlaDesign
 from .hierarchy import MemoryHierarchy
 
 #: Input sizes of the paper's evaluation.
 PAPER_INPUT_SIZES = (32, 64, 128, 256, 512, 1024)
+
+#: Code families of the paper's evaluation (Tables 2/4/5).
+PAPER_CODE_KEYS = ("steane", "bacon_shor")
+
+#: Input sizes / parallel-transfer options of the Table 5 study.
+TABLE5_SIZES = (256, 512, 1024)
+TABLE5_TRANSFER_OPTIONS = (10, 5)
 
 #: Published (utilization-leaning, performance-leaning) block pairs.
 PAPER_BLOCK_CHOICES: Dict[int, Tuple[int, int]] = {
@@ -64,9 +81,11 @@ class SpecializationRow:
     gain_product: float
 
 
-def _specialization_cell(cell: Tuple[int, int, str]) -> SpecializationRow:
+def specialization_cell(params: Mapping[str, Any]) -> SpecializationRow:
     """One Table 4 cell; module-level so worker processes can pickle it."""
-    n_bits, n_blocks, code_key = cell
+    n_bits = params["n_bits"]
+    n_blocks = params["n_blocks"]
+    code_key = params["code_key"]
     design = CqlaDesign(code_key, n_bits, n_blocks)
     return SpecializationRow(
         n_bits=n_bits,
@@ -78,37 +97,61 @@ def _specialization_cell(cell: Tuple[int, int, str]) -> SpecializationRow:
     )
 
 
+def specialization_grid(
+    sizes: Sequence[int] = PAPER_INPUT_SIZES,
+    code_keys: Sequence[str] = PAPER_CODE_KEYS,
+) -> Grid:
+    """The canonical Table 4 cell enumeration."""
+    cells = tuple(
+        Cell.make(
+            "specialization_cell",
+            n_bits=n_bits,
+            n_blocks=n_blocks,
+            code_key=code_key,
+        )
+        for n_bits in sizes
+        for n_blocks in block_choices(n_bits)
+        for code_key in code_keys
+    )
+    return Grid("specialization_cell", cells)
+
+
 def specialization_sweep(
     sizes: Sequence[int] = PAPER_INPUT_SIZES,
-    code_keys: Sequence[str] = ("steane", "bacon_shor"),
+    code_keys: Sequence[str] = PAPER_CODE_KEYS,
     *,
     workers: Optional[int] = None,
     cache=None,
+    store=None,
 ) -> List[SpecializationRow]:
     """Evaluate every Table 4 cell.
 
     ``workers=N`` fans the independent cells out over a process pool;
     ``cache`` memoizes the whole sweep (see
-    :func:`repro.perf.memo.resolve_cache` for accepted values).
+    :func:`repro.perf.memo.resolve_cache` for accepted values); a
+    ``store`` (path or :class:`repro.perf.store.ResultStore`) persists
+    and reads through per-cell records shared with sharded workers.
     """
     memo = resolve_cache(cache)
     key = stable_key(
         "specialization_sweep", sizes=list(sizes), code_keys=list(code_keys)
     )
+    grid = specialization_grid(sizes, code_keys)
     if memo is not None:
         hit = memo.get(key)
         if hit is not None:
             try:
-                return [SpecializationRow(**row) for row in hit]
+                rows = [SpecializationRow(**row) for row in hit]
             except TypeError:
                 pass  # malformed persisted entry: fall through, recompute
-    cells = [
-        (n_bits, n_blocks, code_key)
-        for n_bits in sizes
-        for n_blocks in block_choices(n_bits)
-        for code_key in code_keys
-    ]
-    rows = parallel_map(_specialization_cell, cells, workers=workers)
+            else:
+                # A memo hit bypasses the store: write through so a
+                # store= caller still ends up with a mergeable record set.
+                persist_rows(grid, rows, store)
+                return rows
+    rows = compute_grid(
+        grid, specialization_cell, SpecializationRow, store=store, workers=workers
+    )
     if memo is not None:
         memo.put(key, [asdict(row) for row in rows])
     return rows
@@ -128,9 +171,11 @@ class HierarchyRow:
     gain_product: float
 
 
-def _hierarchy_cell(cell: Tuple[str, int, int]) -> HierarchyRow:
+def hierarchy_cell(params: Mapping[str, Any]) -> HierarchyRow:
     """One Table 5 cell; module-level so worker processes can pickle it."""
-    code_key, par, n_bits = cell
+    code_key = params["code_key"]
+    par = params["parallel_transfers"]
+    n_bits = params["n_bits"]
     design = CqlaDesign(code_key, n_bits, performance_blocks(n_bits))
     hierarchy = MemoryHierarchy(design, parallel_transfers=par)
     return HierarchyRow(
@@ -145,39 +190,62 @@ def _hierarchy_cell(cell: Tuple[str, int, int]) -> HierarchyRow:
     )
 
 
+def hierarchy_grid(
+    sizes: Sequence[int] = TABLE5_SIZES,
+    code_keys: Sequence[str] = PAPER_CODE_KEYS,
+    transfer_options: Sequence[int] = TABLE5_TRANSFER_OPTIONS,
+) -> Grid:
+    """The canonical Table 5 cell enumeration."""
+    cells = tuple(
+        Cell.make(
+            "hierarchy_cell",
+            code_key=code_key,
+            parallel_transfers=par,
+            n_bits=n_bits,
+        )
+        for code_key in code_keys
+        for par in transfer_options
+        for n_bits in sizes
+    )
+    return Grid("hierarchy_cell", cells)
+
+
 def hierarchy_sweep(
-    sizes: Sequence[int] = (256, 512, 1024),
-    code_keys: Sequence[str] = ("steane", "bacon_shor"),
-    transfer_options: Sequence[int] = (10, 5),
+    sizes: Sequence[int] = TABLE5_SIZES,
+    code_keys: Sequence[str] = PAPER_CODE_KEYS,
+    transfer_options: Sequence[int] = TABLE5_TRANSFER_OPTIONS,
     *,
     workers: Optional[int] = None,
     cache=None,
+    store=None,
 ) -> List[HierarchyRow]:
     """Evaluate every Table 5 cell.
 
     ``workers=N`` fans the independent cells out over a process pool;
     ``cache`` memoizes the whole sweep (see
-    :func:`repro.perf.memo.resolve_cache` for accepted values).
+    :func:`repro.perf.memo.resolve_cache` for accepted values); a
+    ``store`` (path or :class:`repro.perf.store.ResultStore`) persists
+    and reads through per-cell records shared with sharded workers.
     """
     memo = resolve_cache(cache)
     key = stable_key(
         "hierarchy_sweep", sizes=list(sizes), code_keys=list(code_keys),
         transfer_options=list(transfer_options),
     )
+    grid = hierarchy_grid(sizes, code_keys, transfer_options)
     if memo is not None:
         hit = memo.get(key)
         if hit is not None:
             try:
-                return [HierarchyRow(**row) for row in hit]
+                rows = [HierarchyRow(**row) for row in hit]
             except TypeError:
                 pass  # malformed persisted entry: fall through, recompute
-    cells = [
-        (code_key, par, n_bits)
-        for code_key in code_keys
-        for par in transfer_options
-        for n_bits in sizes
-    ]
-    rows = parallel_map(_hierarchy_cell, cells, workers=workers)
+            else:
+                persist_rows(grid, rows, store)
+                return rows
+    rows = compute_grid(
+        grid, hierarchy_cell, HierarchyRow, store=store, workers=workers
+    )
     if memo is not None:
         memo.put(key, [asdict(row) for row in rows])
     return rows
@@ -194,6 +262,14 @@ ENGINE_WORKLOADS = ("draper_adder", "qft", "modexp_trace")
 #: model; anything else runs the split-transaction transfer model with
 #: exact prefetching down the static fetch order.
 ENGINE_PREFETCHERS = ("none", "next_k")
+
+#: Remaining default engine-study axes, shared by :func:`engine_grid`
+#: and :func:`engine_sweep` so the sharded CLI (which enumerates via the
+#: grid) and the in-process sweep can never drift apart.
+ENGINE_SIZES = (16, 32)
+ENGINE_CODE_KEYS = ("steane",)
+ENGINE_DEPTHS = (2, 3)
+ENGINE_TRANSFER_OPTIONS = (10,)
 
 
 @dataclass(frozen=True)
@@ -225,31 +301,56 @@ ENGINE_COMPUTE_QUBITS = 12
 ENGINE_CACHE_FACTOR = 1.0
 
 
-def _engine_cell(cell) -> EngineRow:
+@lru_cache(maxsize=None)
+def _fetch_order(
+    workload: str, n_bits: int, compute_qubits: int, cache_factor: float
+) -> tuple:
+    """The optimized fetch schedule shared by every cell of one
+    (workload, size) pair.
+
+    It depends only on (circuit, compute capacity) — never on depth,
+    policy, or transfer count — so it is computed once per process and
+    reused; sharded workers on other hosts recompute it deterministically.
+    """
+    from ..circuits.workloads import build_workload
+    from ..sim.cache import simulate_optimized
+    from ..sim.levels import l1_capacity
+
+    capacity = l1_capacity(compute_qubits, cache_factor)
+    # A tuple, not the scheduler's list: the lru_cache shares one object
+    # with every cell in the process, so it must be immutable.
+    return tuple(simulate_optimized(build_workload(workload, n_bits), capacity).order)
+
+
+def engine_cell(params: Mapping[str, Any]) -> EngineRow:
     """One engine cell; module-level so worker processes can pickle it."""
-    (workload, n_bits, code_key, depth, policy, prefetch, par, pe, factor,
-     order) = cell
     from ..circuits.workloads import build_workload
     from ..sim.levels import simulate_hierarchy_run, standard_stack
 
+    workload = params["workload"]
+    n_bits = params["n_bits"]
     circuit = build_workload(workload, n_bits)
     stack = standard_stack(
-        code_key, depth,
-        compute_qubits=pe,
-        cache_factor=factor,
-        parallel_transfers=par,
+        params["code_key"], params["depth"],
+        compute_qubits=params["compute_qubits"],
+        cache_factor=params["cache_factor"],
+        parallel_transfers=params["parallel_transfers"],
+    )
+    order = _fetch_order(
+        workload, n_bits, params["compute_qubits"], params["cache_factor"]
     )
     run = simulate_hierarchy_run(
-        stack, circuit, policy=policy, order=order, prefetch=prefetch,
+        stack, circuit, policy=params["policy"], order=order,
+        prefetch=params["prefetch"],
     )
     return EngineRow(
         workload=workload,
         n_bits=n_bits,
-        code_key=code_key,
-        depth=depth,
-        policy=policy,
-        prefetch=prefetch,
-        parallel_transfers=par,
+        code_key=params["code_key"],
+        depth=params["depth"],
+        policy=params["policy"],
+        prefetch=params["prefetch"],
+        parallel_transfers=params["parallel_transfers"],
         hit_rate=run.hit_rate,
         speedup=run.speedup,
         transfer_bound_fraction=run.transfer_bound_fraction,
@@ -258,19 +359,65 @@ def _engine_cell(cell) -> EngineRow:
     )
 
 
-def engine_sweep(
+def engine_grid(
     workloads: Sequence[str] = ENGINE_WORKLOADS,
-    sizes: Sequence[int] = (16, 32),
-    code_keys: Sequence[str] = ("steane",),
-    depths: Sequence[int] = (2, 3),
+    sizes: Sequence[int] = ENGINE_SIZES,
+    code_keys: Sequence[str] = ENGINE_CODE_KEYS,
+    depths: Sequence[int] = ENGINE_DEPTHS,
     policies: Optional[Sequence[str]] = None,
     prefetches: Sequence[str] = ENGINE_PREFETCHERS,
-    transfer_options: Sequence[int] = (10,),
+    transfer_options: Sequence[int] = ENGINE_TRANSFER_OPTIONS,
+    compute_qubits: int = ENGINE_COMPUTE_QUBITS,
+    cache_factor: float = ENGINE_CACHE_FACTOR,
+) -> Grid:
+    """The canonical engine-sweep cell enumeration.
+
+    ``policies=None`` resolves to every registered eviction policy, so
+    a sharded worker and a single-process sweep agree on the grid
+    without passing the policy list around.
+    """
+    if policies is None:
+        from ..sim.policies import available_policies
+
+        policies = available_policies()
+    cells = tuple(
+        Cell.make(
+            "engine_cell",
+            workload=workload,
+            n_bits=n_bits,
+            code_key=code_key,
+            depth=depth,
+            policy=policy,
+            prefetch=prefetch,
+            parallel_transfers=par,
+            compute_qubits=compute_qubits,
+            cache_factor=cache_factor,
+        )
+        for workload in workloads
+        for n_bits in sizes
+        for code_key in code_keys
+        for depth in depths
+        for policy in policies
+        for prefetch in prefetches
+        for par in transfer_options
+    )
+    return Grid("engine_cell", cells)
+
+
+def engine_sweep(
+    workloads: Sequence[str] = ENGINE_WORKLOADS,
+    sizes: Sequence[int] = ENGINE_SIZES,
+    code_keys: Sequence[str] = ENGINE_CODE_KEYS,
+    depths: Sequence[int] = ENGINE_DEPTHS,
+    policies: Optional[Sequence[str]] = None,
+    prefetches: Sequence[str] = ENGINE_PREFETCHERS,
+    transfer_options: Sequence[int] = ENGINE_TRANSFER_OPTIONS,
     compute_qubits: int = ENGINE_COMPUTE_QUBITS,
     cache_factor: float = ENGINE_CACHE_FACTOR,
     *,
     workers: Optional[int] = None,
     cache=None,
+    store=None,
 ) -> List[EngineRow]:
     """Evaluate the generalized engine over its design axes.
 
@@ -279,7 +426,10 @@ def engine_sweep(
     ``repro.sim.prefetch.available_prefetchers()`` for every registered
     prefetcher).  ``workers=N`` fans the independent cells out over a
     process pool; ``cache`` memoizes the whole sweep (see
-    :func:`repro.perf.memo.resolve_cache` for accepted values).
+    :func:`repro.perf.memo.resolve_cache` for accepted values); a
+    ``store`` (path or :class:`repro.perf.store.ResultStore`) persists
+    and reads through per-cell records, which is how sharded workers
+    (``python -m repro.sweep``) and this function share work.
     """
     if policies is None:
         from ..sim.policies import available_policies
@@ -293,40 +443,22 @@ def engine_sweep(
         transfer_options=list(transfer_options),
         compute_qubits=compute_qubits, cache_factor=cache_factor,
     )
+    grid = engine_grid(
+        workloads, sizes, code_keys, depths, policies, prefetches,
+        transfer_options, compute_qubits, cache_factor,
+    )
     if memo is not None:
         hit = memo.get(key)
         if hit is not None:
             try:
-                return [EngineRow(**row) for row in hit]
+                rows = [EngineRow(**row) for row in hit]
             except TypeError:
                 pass  # malformed persisted entry: fall through, recompute
-    # The optimized fetch schedule depends only on (circuit, compute
-    # capacity) — never on depth, policy, or transfer count — so it is
-    # computed once per (workload, size) and shared across every cell.
-    from ..circuits.workloads import build_workload
-    from ..sim.cache import simulate_optimized
-    from ..sim.levels import l1_capacity
-
-    capacity = l1_capacity(compute_qubits, cache_factor)
-    orders = {
-        (workload, n_bits): simulate_optimized(
-            build_workload(workload, n_bits), capacity
-        ).order
-        for workload in workloads
-        for n_bits in sizes
-    }
-    cells = [
-        (workload, n_bits, code_key, depth, policy, prefetch, par,
-         compute_qubits, cache_factor, orders[(workload, n_bits)])
-        for workload in workloads
-        for n_bits in sizes
-        for code_key in code_keys
-        for depth in depths
-        for policy in policies
-        for prefetch in prefetches
-        for par in transfer_options
-    ]
-    rows = parallel_map(_engine_cell, cells, workers=workers)
+            else:
+                persist_rows(grid, rows, store)
+                return rows
+    rows = compute_grid(grid, engine_cell, EngineRow, store=store, workers=workers)
     if memo is not None:
         memo.put(key, [asdict(row) for row in rows])
     return rows
+

@@ -19,7 +19,6 @@ recursion level — the exact quantities of the paper's Table 2.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Tuple

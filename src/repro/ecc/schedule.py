@@ -26,10 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..physical.layout import Coord, GridSpec
-from ..physical.machine import ExecutionResult, MicroOp, TrapMachine
+from ..physical.machine import MicroOp, TrapMachine
 from ..physical.params import DEFAULT_PARAMS, Op, PhysicalParams
 from . import bacon_shor, steane
 

@@ -1,27 +1,37 @@
-"""Performance infrastructure: persistent memoization and fan-out.
+"""Performance infrastructure: memoization, fan-out, durable results.
 
 The design-space sweeps (Tables 4 and 5) and the hierarchy simulator
 evaluate many independent, deterministic cells; this subsystem supplies
-the two generic accelerators they share:
+the generic accelerators they share:
 
 * :mod:`repro.perf.memo` — a config-hash -> result memoization layer
   with an in-process LRU in front of an optional JSON file cache, so
   repeated sweeps (within one process or across runs) pay for each cell
   once;
 * :mod:`repro.perf.parallel` — an opt-in ``workers=N`` process-pool map
-  for the embarrassingly parallel sweep cells.
+  for the embarrassingly parallel sweep cells;
+* :mod:`repro.perf.store` — a durable, content-addressed result store
+  (atomic per-cell JSON records, ``flock``-guarded index) that sharded
+  sweep workers on many hosts fill concurrently and ``merge`` reads
+  back; its on-disk layout is ``REPRO_CACHE_DIR``-compatible.
 
-Both are policy-free: callers pass ``cache=`` / ``workers=`` knobs and
-get identical numeric results either way.
+All are policy-free: callers pass ``cache=`` / ``workers=`` / ``store=``
+knobs and get identical numeric results either way.
 """
 
 from .memo import SweepCache, default_cache, resolve_cache, stable_key
-from .parallel import parallel_map
+from .parallel import parallel_iter, parallel_map
+from .store import ResultStore, StoreStatus, atomic_write_text, resolve_store
 
 __all__ = [
+    "ResultStore",
+    "StoreStatus",
     "SweepCache",
+    "atomic_write_text",
     "default_cache",
+    "parallel_iter",
     "parallel_map",
     "resolve_cache",
+    "resolve_store",
     "stable_key",
 ]

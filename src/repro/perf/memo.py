@@ -26,11 +26,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Optional, Union
+
+from .store import atomic_write_text
 
 #: Bump to invalidate every previously persisted entry (format changes).
 CACHE_FORMAT_VERSION = 1
@@ -70,7 +71,8 @@ def stable_key(kernel: str, /, **params: Any) -> str:
             "kernel": kernel,
             "params": params,
         },
-        sort_keys=True, default=repr,
+        sort_keys=True,
+        default=repr,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
 
@@ -147,24 +149,14 @@ class SweepCache:
             # Un-serializable values degrade the disk tier to a no-op;
             # the memory tier already has the entry.
             return
-        tmp = None
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # A per-writer temp name keeps concurrent put()s of the same
-            # key from clobbering each other's half-written file; the
-            # final os.replace is atomic.
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
-            )
-            with os.fdopen(fd, "w") as handle:
-                handle.write(encoded)
-            os.replace(tmp, path)
+            # Per-writer temp file + atomic rename (shared with the
+            # sharded-sweep ResultStore): concurrent put()s of the same
+            # key can never leave a torn file for a warm read to trip on.
+            atomic_write_text(path, encoded)
         except OSError:
-            if tmp is not None:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
+            # Best-effort tier: a failed persist only costs a recompute.
+            pass
 
     # -- maintenance -----------------------------------------------------
     def clear_memory(self) -> None:

@@ -7,14 +7,81 @@ serial — no pool start-up cost, identical results, and the in-process
 memoization tier keeps working.  Cell functions must be module-level
 (picklable) and their results deterministic, so serial and parallel
 runs are interchangeable.
+
+:func:`parallel_iter` streams results lazily in input order;
+:func:`parallel_indexed` streams ``(index, result)`` pairs in
+*completion* order, so a caller can persist each one the moment it
+exists (the sharded sweep runner does, for crash-durability).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def parallel_iter(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> Iterator[R]:
+    """Lazily yield ``fn(x)`` for each item, in input order.
+
+    Same modes as :func:`parallel_map`: ``workers`` of None, 0 or 1
+    maps serially in-process (each result computed only when the caller
+    advances); larger values stream results out of a
+    ``ProcessPoolExecutor`` as they complete, still in input order.
+    """
+    cells = list(items)
+    if workers is not None and workers < 0:
+        raise ValueError("workers cannot be negative")
+    if not workers or workers <= 1 or len(cells) <= 1:
+        return map(fn, cells)
+    return _pool_iter(fn, cells, workers, chunksize)
+
+
+def _pool_iter(
+    fn: Callable[[T], R], cells: List[T], workers: int, chunksize: int
+) -> Iterator[R]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        yield from pool.map(fn, cells, chunksize=max(1, chunksize))
+
+
+def parallel_indexed(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+) -> Iterator[Tuple[int, R]]:
+    """Yield ``(index, fn(item))`` pairs in *completion* order.
+
+    Serial mode (``workers`` of None/0/1) yields lazily in input order.
+    Pool mode yields each result as its future completes, so a consumer
+    persisting results incrementally is never blocked behind a slow
+    head-of-line item — finished work is durable even if later (or
+    earlier!) items are still running when the process dies.
+    """
+    cells = list(items)
+    if workers is not None and workers < 0:
+        raise ValueError("workers cannot be negative")
+    if not workers or workers <= 1 or len(cells) <= 1:
+        return ((index, fn(cell)) for index, cell in enumerate(cells))
+    return _pool_indexed(fn, cells, workers)
+
+
+def _pool_indexed(
+    fn: Callable[[T], R], cells: List[T], workers: int
+) -> Iterator[Tuple[int, R]]:
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        futures = {pool.submit(fn, cell): index for index, cell in enumerate(cells)}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
 
 
 def parallel_map(
@@ -29,12 +96,4 @@ def parallel_map(
     or 1 runs serially in-process; larger values use a
     ``ProcessPoolExecutor`` capped at the number of items.
     """
-    cells = list(items)
-    if workers is not None and workers < 0:
-        raise ValueError("workers cannot be negative")
-    if not workers or workers <= 1 or len(cells) <= 1:
-        return [fn(cell) for cell in cells]
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-        return list(pool.map(fn, cells, chunksize=max(1, chunksize)))
+    return list(parallel_iter(fn, items, workers=workers, chunksize=chunksize))

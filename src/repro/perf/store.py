@@ -1,0 +1,263 @@
+"""Durable, shareable result store for sharded sweeps.
+
+A :class:`ResultStore` is a directory of content-addressed JSON records,
+one file per sweep cell, keyed by the same configuration hash
+:func:`repro.perf.memo.stable_key` produces.  It is the persistence
+layer of the sharded sweep subsystem (:mod:`repro.sweep`): any number of
+worker processes — on one host or many sharing a filesystem — write
+cells into the same directory, and a ``merge`` reassembles the exact row
+list a single-process sweep would have produced.
+
+Design points:
+
+* **Atomic writes.**  Every record (and the index) lands via
+  :func:`atomic_write_text` — a per-writer temp file plus ``os.replace``
+  — so a reader can never observe a torn file, and two workers racing
+  the same cell both leave a complete record (last writer wins; cells
+  are deterministic, so both wrote the same bytes).
+* **Corruption-tolerant reads.**  A record that is unreadable,
+  truncated, or not the expected JSON shape is treated as *missing*,
+  never as an error: ``resume`` recomputes it.
+* **Advisory, ``flock``-guarded index.**  ``index.json`` is a manifest
+  of per-cell metadata for humans and tooling.  Updates take an
+  exclusive :mod:`fcntl` lock on a sidecar lock file, and bulk writers
+  batch them (:func:`repro.sweep.runner.compute_grid` indexes once per
+  grid run, not once per cell).  The records are always the truth:
+  readers never consult the index for correctness, and
+  :meth:`ResultStore.rebuild_index` regenerates it from a directory
+  scan (which is also how merged multi-shard artifact directories heal
+  their conflicting indexes).
+* **``REPRO_CACHE_DIR``-compatible layout.**  Records are
+  ``<key>.json`` files whose top-level ``"value"`` field holds the
+  payload — exactly the layout :class:`repro.perf.memo.SweepCache`
+  persists — so a :class:`SweepCache` pointed at a store directory
+  warm-reads its records, and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+try:  # POSIX only; the store degrades to lock-free index updates elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+#: Bump when the record layout changes; folded into every record's meta.
+STORE_VERSION = 1
+
+#: Index file name (advisory; rebuilt from a scan whenever stale).
+INDEX_NAME = "index.json"
+
+#: Sidecar lock file guarding index read-modify-write cycles.
+LOCK_NAME = ".index.lock"
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A per-writer ``mkstemp`` name keeps concurrent writers of the same
+    path from clobbering each other's half-written bytes; the final
+    rename is atomic, so readers see either the old content or the new,
+    never a torn file.  Raises ``OSError`` on failure (after removing
+    the temp file) — callers that treat persistence as best-effort
+    catch it.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.stem[:16]}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Completion summary of one key set against a store."""
+
+    total: int
+    done: int
+    missing_keys: tuple
+
+    @property
+    def missing(self) -> int:
+        return self.total - self.done
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total
+
+
+class ResultStore:
+    """Content-addressed directory of per-cell JSON records."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    # -- paths -----------------------------------------------------------
+    def record_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / INDEX_NAME
+
+    # -- records ---------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        value: Any,
+        *,
+        kernel: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        index: bool = True,
+    ) -> Dict[str, Any]:
+        """Persist one cell result atomically; returns the record meta.
+
+        ``value`` must be JSON-serializable (sweep rows pass
+        ``dataclasses.asdict`` output).  ``kernel``/``params`` are
+        stored alongside so records are self-describing — ``status``
+        and debugging never need to re-derive what a hash meant.
+        ``index=False`` skips the per-put index update; bulk writers
+        use it and batch one :meth:`index_add` for the whole run.
+        """
+        meta: Dict[str, Any] = {"store_version": STORE_VERSION}
+        if kernel is not None:
+            meta["kernel"] = kernel
+        if params is not None:
+            meta["params"] = params
+        record = {"value": value, "meta": meta}
+        atomic_write_text(self.record_path(key), json.dumps(record, sort_keys=True))
+        if index:
+            self.index_add({key: meta})
+        return meta
+
+    def record(self, key: str) -> Optional[Dict[str, Any]]:
+        """The full record dict for ``key``, or None if missing/corrupt."""
+        try:
+            record = json.loads(self.record_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or "value" not in record:
+            return None
+        return record
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored value for ``key``, or None if missing/corrupt."""
+        record = self.record(key)
+        return None if record is None else record["value"]
+
+    def has(self, key: str) -> bool:
+        """True iff ``key`` has a *readable* record (corrupt = missing)."""
+        return self.record(key) is not None
+
+    def keys(self) -> List[str]:
+        """Keys of every readable record, from a directory scan."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in sorted(self.directory.glob("*.json")):
+            if path.name == INDEX_NAME:
+                continue
+            if self.has(path.stem):
+                found.append(path.stem)
+        return found
+
+    def status(self, keys: Iterable[str]) -> StoreStatus:
+        """Done/missing split of ``keys`` against the stored records."""
+        wanted = list(keys)
+        missing = tuple(key for key in wanted if not self.has(key))
+        return StoreStatus(
+            total=len(wanted), done=len(wanted) - len(missing), missing_keys=missing
+        )
+
+    # -- index -----------------------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive inter-process lock for index read-modify-write."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.directory / LOCK_NAME, "a+") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def read_index(self) -> Dict[str, Any]:
+        """The advisory index mapping key -> record meta (may be stale)."""
+        try:
+            index = json.loads(self.index_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        records = index.get("records") if isinstance(index, dict) else None
+        return records if isinstance(records, dict) else {}
+
+    def _write_index(self, records: Dict[str, Any]) -> None:
+        payload = {"store_version": STORE_VERSION, "records": records}
+        atomic_write_text(self.index_path, json.dumps(payload, sort_keys=True))
+
+    def index_add(self, entries: Dict[str, Any]) -> None:
+        """Merge ``entries`` (key -> meta) into the index, under flock.
+
+        One read-modify-write cycle regardless of batch size — callers
+        writing many records pass them all at once.
+        """
+        with self._locked():
+            records = self.read_index()
+            records.update(entries)
+            self._write_index(records)
+
+    def rebuild_index(self) -> Dict[str, Any]:
+        """Regenerate the index from the records actually on disk.
+
+        Run after merging shard directories (each shard shipped its own
+        ``index.json``; only one survives a file-level merge) or after
+        any suspected index corruption.  Returns the rebuilt mapping.
+        """
+        with self._locked():
+            records: Dict[str, Any] = {}
+            if self.directory.is_dir():
+                for path in sorted(self.directory.glob("*.json")):
+                    if path.name == INDEX_NAME:
+                        continue
+                    record = self.record(path.stem)
+                    if record is None:
+                        continue  # corrupt record: not a result, not indexed
+                    meta = record.get("meta")
+                    records[path.stem] = meta if isinstance(meta, dict) else {}
+            self._write_index(records)
+            return records
+
+
+def resolve_store(
+    store: Union[None, str, Path, ResultStore],
+) -> Optional[ResultStore]:
+    """Normalize the ``store=`` knob the sweeps expose.
+
+    ``None`` -> no store (compute everything, persist nothing); a path
+    -> a :class:`ResultStore` rooted there; a store -> itself.
+    """
+    if store is None:
+        return None
+    if isinstance(store, ResultStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return ResultStore(store)
+    raise TypeError(f"cannot interpret store={store!r}")

@@ -1,0 +1,41 @@
+"""Sharded sweep orchestration.
+
+Grow a design-space sweep past one process and one host: the canonical
+cell enumeration lives in a :class:`Grid` (:mod:`repro.sweep.grid`),
+workers own a stable hash-partition of it (``shard i/K``), every result
+lands as a content-addressed record in a durable
+:class:`repro.perf.store.ResultStore`, and a merge reassembles the
+exact row list a single-process sweep produces — bit-identically.
+
+Library surface: :func:`compute_grid` / :func:`rows_from_store`
+(:mod:`repro.sweep.runner`).  Operational surface::
+
+    python -m repro.sweep run --shard 0/4 --store DIR   # one worker
+    python -m repro.sweep status --store DIR --shards 4
+    python -m repro.sweep resume --store DIR            # fill gaps
+    python -m repro.sweep merge --store DIR --verify
+
+(The CLI lives in :mod:`repro.sweep.cli`, imported only by
+``__main__`` so this package stays import-light for the sweeps.)
+"""
+
+from .grid import Cell, Grid, parse_shard_spec, shard_index
+from .runner import (
+    MissingCells,
+    compute_grid,
+    kernel_registry,
+    persist_rows,
+    rows_from_store,
+)
+
+__all__ = [
+    "Cell",
+    "Grid",
+    "MissingCells",
+    "compute_grid",
+    "kernel_registry",
+    "parse_shard_spec",
+    "persist_rows",
+    "rows_from_store",
+    "shard_index",
+]

@@ -1,0 +1,254 @@
+"""Worker CLI for sharded sweeps: ``run`` / ``status`` / ``merge`` / ``resume``.
+
+The distributed workflow over the engine design space
+(:func:`repro.core.design_space.engine_grid`)::
+
+    # K workers, anywhere with the same store directory (or each with
+    # its own directory, merged later — records are content-addressed):
+    python -m repro.sweep run --shard 0/4 --store /shared/sweep
+    python -m repro.sweep run --shard 1/4 --store /shared/sweep
+    ...
+
+    python -m repro.sweep status --store /shared/sweep --shards 4
+    python -m repro.sweep resume --store /shared/sweep   # after a crash
+    python -m repro.sweep merge  --store /shared/sweep --output rows.json
+
+Every subcommand takes the same grid options, so the workers, the
+status probe, and the merge all agree on the canonical cell enumeration.
+``merge --verify`` recomputes the whole grid single-process in-memory
+and asserts the reassembled rows are bit-identical — the CI sharding
+job uses it as its correctness gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional
+
+from ..perf.store import ResultStore
+from .grid import Grid, parse_shard_spec
+from .runner import MissingCells, compute_grid, kernel_registry, rows_from_store
+
+
+#: Engine-only grid options (dest names); passing one of these with a
+#: Table 4/5 kernel is an error, not a silent ignore.
+_ENGINE_ONLY = (
+    "workloads",
+    "depths",
+    "policies",
+    "prefetches",
+    "compute_qubits",
+    "cache_factor",
+)
+
+
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    grid = parser.add_argument_group(
+        "grid options (must match across run/status/merge/resume)"
+    )
+    grid.add_argument(
+        "--kernel",
+        choices=("engine_cell", "specialization_cell", "hierarchy_cell"),
+        default="engine_cell",
+        help="which sweep grid to shard (default: the engine design space; "
+        "specialization_cell = Table 4, hierarchy_cell = Table 5)",
+    )
+    grid.add_argument("--workloads", nargs="+", default=None, metavar="NAME")
+    grid.add_argument("--sizes", nargs="+", type=int, default=None, metavar="N")
+    grid.add_argument("--codes", nargs="+", default=None, metavar="CODE")
+    grid.add_argument("--depths", nargs="+", type=int, default=None, metavar="D")
+    grid.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        metavar="POLICY",
+        help="default: every registered eviction policy",
+    )
+    grid.add_argument("--prefetches", nargs="+", default=None, metavar="PF")
+    grid.add_argument("--transfers", nargs="+", type=int, default=None, metavar="P")
+    grid.add_argument("--compute-qubits", type=int, default=None, metavar="Q")
+    grid.add_argument("--cache-factor", type=float, default=None, metavar="F")
+
+
+def _picked(args: argparse.Namespace, **renames: str) -> dict:
+    """CLI options that were explicitly set, renamed to grid kwargs."""
+    return {
+        kwarg: getattr(args, dest)
+        for dest, kwarg in renames.items()
+        if getattr(args, dest) is not None
+    }
+
+
+def _grid_from_args(args: argparse.Namespace) -> Grid:
+    # Omitted options take the grid builders' defaults, so the CLI and
+    # the in-process sweeps enumerate the same canonical grid.
+    from ..core import design_space
+
+    if args.kernel == "engine_cell":
+        return design_space.engine_grid(
+            **_picked(
+                args,
+                workloads="workloads",
+                sizes="sizes",
+                codes="code_keys",
+                depths="depths",
+                policies="policies",
+                prefetches="prefetches",
+                transfers="transfer_options",
+                compute_qubits="compute_qubits",
+                cache_factor="cache_factor",
+            )
+        )
+    stray = [
+        "--" + dest.replace("_", "-")
+        for dest in _ENGINE_ONLY
+        if getattr(args, dest) is not None
+    ]
+    if stray:
+        raise SystemExit(
+            f"{args.kernel} grids do not take {', '.join(stray)} "
+            f"(engine-grid options)"
+        )
+    if args.kernel == "specialization_cell":
+        return design_space.specialization_grid(
+            **_picked(args, sizes="sizes", codes="code_keys")
+        )
+    return design_space.hierarchy_grid(
+        **_picked(args, sizes="sizes", codes="code_keys", transfers="transfer_options")
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    index, count = parse_shard_spec(args.shard)
+    shard = grid.shard(index, count)
+    store = ResultStore(args.store)
+    before = store.status(shard.keys())
+    fn, row_type = kernel_registry()[grid.kernel]
+    # compute_grid returning (rather than raising) means every cell of
+    # the shard now has a record — no second status scan needed.
+    compute_grid(shard, fn, row_type, store=store, workers=args.workers)
+    print(
+        f"shard {index}/{count}: {len(shard)} of {len(grid)} cells "
+        f"({before.done} already stored, {before.missing} computed)"
+    )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = ResultStore(args.store)
+    before = store.status(grid.keys())
+    fn, row_type = kernel_registry()[grid.kernel]
+    compute_grid(grid, fn, row_type, store=store, workers=args.workers)
+    print(
+        f"resume: {len(grid)} cells ({before.done} already stored, "
+        f"{before.missing} computed)"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = ResultStore(args.store)
+    overall = store.status(grid.keys())
+    print(
+        f"{grid.kernel} grid: {overall.done}/{overall.total} cells "
+        f"stored in {args.store}"
+    )
+    if args.shards:
+        for index in range(args.shards):
+            shard_status = store.status(grid.shard(index, args.shards).keys())
+            print(
+                f"  shard {index}/{args.shards}: "
+                f"{shard_status.done}/{shard_status.total} done"
+            )
+    return 0 if overall.complete else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = ResultStore(args.store)
+    # Shard artifacts each shipped their own index.json and only one
+    # survives a file-level directory merge; records are the truth.
+    store.rebuild_index()
+    fn, row_type = kernel_registry()[grid.kernel]
+    try:
+        rows = rows_from_store(grid, row_type, store)
+    except MissingCells as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        for key in exc.keys[:10]:
+            print(f"  missing {key}", file=sys.stderr)
+        return 1
+    if args.verify:
+        recomputed = compute_grid(grid, fn, row_type)
+        if recomputed != rows:
+            print(
+                "verify FAILED: merged rows differ from a single-process sweep",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"verify ok: {len(rows)} rows bit-identical to a fresh sweep")
+    payload = [asdict(row) for row in rows]
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"merged {len(rows)} rows into {args.output}")
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Sharded design-space sweeps over a durable result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compute one shard's missing cells")
+    run.add_argument("--shard", default="0/1", metavar="i/K")
+    run.add_argument("--store", required=True, metavar="DIR")
+    run.add_argument("--workers", type=int, default=None, metavar="N")
+    _add_grid_options(run)
+    run.set_defaults(fn=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="compute every missing cell of the whole grid"
+    )
+    resume.add_argument("--store", required=True, metavar="DIR")
+    resume.add_argument("--workers", type=int, default=None, metavar="N")
+    _add_grid_options(resume)
+    resume.set_defaults(fn=_cmd_resume)
+
+    status = sub.add_parser("status", help="report stored vs missing cells")
+    status.add_argument("--store", required=True, metavar="DIR")
+    status.add_argument("--shards", type=int, default=None, metavar="K")
+    _add_grid_options(status)
+    status.set_defaults(fn=_cmd_status)
+
+    merge = sub.add_parser(
+        "merge", help="reassemble the single-process row list from the store"
+    )
+    merge.add_argument("--store", required=True, metavar="DIR")
+    merge.add_argument("--output", default=None, metavar="FILE")
+    merge.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute the grid in-process and assert bit-identical rows",
+    )
+    _add_grid_options(merge)
+    merge.set_defaults(fn=_cmd_merge)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

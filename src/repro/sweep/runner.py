@@ -1,0 +1,169 @@
+"""Grid execution: store read-through, compute, reassembly.
+
+:func:`compute_grid` is the one engine every sweep goes through — the
+single-process :func:`repro.core.design_space.engine_sweep` call, a
+``python -m repro.sweep run --shard i/K`` worker, and a ``resume`` after
+a crash are all the same loop: skip cells whose record is already in
+the store, fan the rest over :func:`repro.perf.parallel.parallel_indexed`,
+persist each result as it completes, return rows in canonical grid
+order.
+
+:func:`rows_from_store` is the read-only half — ``merge``, ``status``
+and the table builders use it to reassemble a sweep without computing
+anything, failing loudly (:class:`MissingCells`) when records are
+absent or corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..perf.parallel import parallel_indexed
+from ..perf.store import ResultStore, resolve_store
+from .grid import Cell, Grid
+
+
+class MissingCells(ValueError):
+    """A read-only reassembly found cells with no readable record."""
+
+    def __init__(self, grid: Grid, keys: Tuple[str, ...]) -> None:
+        self.keys = keys
+        super().__init__(
+            f"store is missing {len(keys)}/{len(grid)} cells of the "
+            f"{grid.kernel} grid (run `python -m repro.sweep resume` to "
+            f"compute them)"
+        )
+
+
+def _row_from_record(row_type: Type, value: Any) -> Optional[Any]:
+    """Rebuild a row dataclass from a stored record value, or None.
+
+    A record whose value does not match the row schema (wrong fields,
+    wrong shape — e.g. written by an older layout) is treated exactly
+    like a corrupt file: missing, to be recomputed.
+    """
+    if not isinstance(value, dict):
+        return None
+    try:
+        return row_type(**value)
+    except TypeError:
+        return None
+
+
+def compute_grid(
+    grid: Grid,
+    fn: Callable[[Dict[str, Any]], Any],
+    row_type: Type,
+    *,
+    store=None,
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Rows for every grid cell, reading through ``store`` when given.
+
+    ``fn`` maps one cell's parameter dict to one ``row_type`` row (it
+    must be module-level so pool workers can pickle it).  Cells already
+    in the store are not recomputed; freshly computed cells are
+    persisted *as each result completes* (completion order, so a slow
+    cell never delays the durability of faster ones — a worker killed
+    mid-grid loses only its in-flight cells) with one batched
+    index update at the end (the index is advisory; records are the
+    truth and ``merge`` rebuilds it).  The returned list is always in
+    canonical grid order, so a warm, cold, sharded, or mixed run yields
+    the identical row sequence.
+    """
+    resolved: Optional[ResultStore] = resolve_store(store)
+    cells = list(grid)
+    rows: List[Any] = [None] * len(cells)
+    todo: List[int] = []
+    for position, cell in enumerate(cells):
+        if resolved is not None:
+            row = _row_from_record(row_type, resolved.get(cell.key))
+            if row is not None:
+                rows[position] = row
+                continue
+        todo.append(position)
+    results = parallel_indexed(
+        fn, [cells[position].as_dict() for position in todo], workers=workers
+    )
+    written: Dict[str, Any] = {}
+    try:
+        # Completion order, not input order: each finished cell is
+        # persisted immediately, never queued behind a slower one.
+        for offset, row in results:
+            position = todo[offset]
+            rows[position] = row
+            if resolved is not None:
+                written[cells[position].key] = _persist(resolved, cells[position], row)
+    finally:
+        if resolved is not None and written:
+            resolved.index_add(written)
+    return rows
+
+
+def _persist(store: ResultStore, cell: Cell, row: Any) -> Dict[str, Any]:
+    """Write one row's record (indexing deferred to the caller's batch)."""
+    return store.put(
+        cell.key, asdict(row), kernel=cell.kernel, params=cell.as_dict(), index=False
+    )
+
+
+def persist_rows(grid: Grid, rows: List[Any], store) -> None:
+    """Write already-computed rows through to a store.
+
+    Used when a sweep obtains its rows without touching the store —
+    e.g. a whole-sweep memoization hit — so that ``store=`` always
+    leaves a complete, mergeable record set behind.  Cells whose record
+    already exists are left untouched.
+    """
+    resolved = resolve_store(store)
+    if resolved is None:
+        return
+    written: Dict[str, Any] = {}
+    for cell, row in zip(grid, rows):
+        if not resolved.has(cell.key):
+            written[cell.key] = _persist(resolved, cell, row)
+    if written:
+        resolved.index_add(written)
+
+
+def rows_from_store(grid: Grid, row_type: Type, store) -> List[Any]:
+    """Reassemble a complete sweep from stored records only.
+
+    Raises :class:`MissingCells` (listing the absent keys) if any cell
+    has no readable, schema-valid record — a merge must never silently
+    return a partial sweep.
+    """
+    resolved = resolve_store(store)
+    if resolved is None:
+        raise ValueError("rows_from_store requires a store")
+    rows: List[Any] = []
+    missing: List[str] = []
+    for cell in grid:
+        row = _row_from_record(row_type, resolved.get(cell.key))
+        if row is None:
+            missing.append(cell.key)
+        else:
+            rows.append(row)
+    if missing:
+        raise MissingCells(grid, tuple(missing))
+    return rows
+
+
+def kernel_registry() -> Dict[str, Tuple[Callable[[Dict[str, Any]], Any], Type]]:
+    """Kernel name -> (cell function, row type) for the worker CLI.
+
+    Imported lazily: the design-space module itself imports this
+    package for :func:`compute_grid`, and the registry is only needed
+    by CLI entry points.
+    """
+    from ..core import design_space
+
+    return {
+        "engine_cell": (design_space.engine_cell, design_space.EngineRow),
+        "specialization_cell": (
+            design_space.specialization_cell,
+            design_space.SpecializationRow,
+        ),
+        "hierarchy_cell": (design_space.hierarchy_cell, design_space.HierarchyRow),
+    }

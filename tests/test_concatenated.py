@@ -6,7 +6,6 @@ from repro.analysis import paper_values
 from repro.ecc.concatenated import (
     BACON_SHOR_SPEC,
     STEANE_SPEC,
-    ConcatenatedCode,
     bacon_shor_concatenated,
     by_key,
     spec_by_key,

@@ -1,7 +1,5 @@
 """Unit tests for circuit dependency analysis."""
 
-import pytest
-
 from repro.circuits.circuit import Circuit
 from repro.circuits.dag import CircuitDag, parallelism_series
 from repro.circuits.gates import cnot_gate, toffoli_gate, x_gate

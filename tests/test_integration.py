@@ -72,7 +72,6 @@ class TestCrossStack:
         """The algebraic code, EC schedule and area model agree on the
         same object."""
         design = CqlaDesign("bacon_shor", 64, 16)
-        code = design.floorplan.memory
         from repro.ecc.concatenated import by_key
 
         concat = by_key("bacon_shor")

@@ -11,7 +11,7 @@ from repro.perf.memo import (
     resolve_cache,
     stable_key,
 )
-from repro.perf.parallel import parallel_map
+from repro.perf.parallel import parallel_iter, parallel_map
 from repro.sim.hierarchy_sim import l1_speedup, simulate_l1_run
 
 
@@ -102,6 +102,27 @@ class TestParallelMap:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             parallel_map(abs, [1], workers=-1)
+        with pytest.raises(ValueError):
+            parallel_iter(abs, [1], workers=-1)
+
+    def test_iter_streams_lazily_in_order(self):
+        computed = []
+
+        def record(x):
+            computed.append(x)
+            return x * x
+
+        stream = parallel_iter(record, [1, 2, 3])
+        assert computed == []  # nothing runs until the caller advances
+        assert next(stream) == 1
+        assert computed == [1]
+        assert list(stream) == [4, 9]
+
+    def test_iter_parallel_matches_map(self):
+        items = list(range(12))
+        assert list(parallel_iter(_square, items, workers=3)) == [
+            i * i for i in items
+        ]
 
 
 def _square(x):

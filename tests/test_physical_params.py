@@ -1,7 +1,5 @@
 """Unit tests for the physical parameter layer (Table 1)."""
 
-import math
-
 import pytest
 
 from repro.physical.params import (
@@ -9,7 +7,6 @@ from repro.physical.params import (
     DEFAULT_PARAMS,
     Op,
     OpParams,
-    PhysicalParams,
     future_params,
     now_params,
 )

@@ -6,7 +6,6 @@ reference stream — not just the paper's workloads.
 
 import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

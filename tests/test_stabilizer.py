@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ecc.pauli import Pauli, enumerate_errors
+from repro.ecc.pauli import Pauli
 from repro.ecc.stabilizer import (
     DecodingError,
     StabilizerCode,

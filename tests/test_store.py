@@ -1,0 +1,203 @@
+"""Tests for the durable sharded-sweep result store (repro.perf.store)."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.perf.memo import SweepCache
+from repro.perf.store import (
+    INDEX_NAME,
+    ResultStore,
+    atomic_write_text,
+    resolve_store,
+)
+
+
+class TestAtomicWriteText:
+    def test_write_and_replace(self, tmp_path):
+        target = tmp_path / "a" / "b.json"
+        atomic_write_text(target, "one")
+        assert target.read_text() == "one"
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+
+    def test_leaves_no_temp_litter(self, tmp_path):
+        atomic_write_text(tmp_path / "x.json", "payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("k") is None
+        assert not store.has("k")
+        store.put("k", {"speedup": 2.5}, kernel="engine_cell",
+                  params={"n_bits": 16})
+        assert store.get("k") == {"speedup": 2.5}
+        assert store.has("k")
+        record = store.record("k")
+        assert record["meta"]["kernel"] == "engine_cell"
+        assert record["meta"]["params"] == {"n_bits": 16}
+
+    def test_keys_scans_records_not_index(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("b", 2)
+        store.put("a", 1)
+        # A record dropped in by a merged shard artifact (no index entry)
+        # is still found: the scan, not the index, is the truth.
+        (tmp_path / "c.json").write_text(json.dumps({"value": 3}))
+        assert store.keys() == ["a", "b", "c"]
+
+    def test_corrupt_record_counts_as_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("good", 1)
+        (tmp_path / "torn.json").write_text('{"value": [1, 2')
+        (tmp_path / "wrongshape.json").write_text(json.dumps([1, 2]))
+        (tmp_path / "novalue.json").write_text(json.dumps({"meta": {}}))
+        assert store.get("torn") is None
+        assert store.get("wrongshape") is None
+        assert store.get("novalue") is None
+        assert store.keys() == ["good"]
+        status = store.status(["good", "torn", "wrongshape", "missing"])
+        assert (status.total, status.done, status.missing) == (4, 1, 3)
+        assert status.missing_keys == ("torn", "wrongshape", "missing")
+        assert not status.complete
+
+    def test_status_complete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        status = store.status(["k"])
+        assert status.complete and status.missing == 0
+
+    def test_index_tracks_puts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", 1, kernel="engine_cell")
+        store.put("k2", 2, kernel="engine_cell")
+        index = store.read_index()
+        assert set(index) == {"k1", "k2"}
+        assert index["k1"]["kernel"] == "engine_cell"
+
+    def test_corrupt_index_is_tolerated_and_rebuilt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", 1, kernel="engine_cell")
+        store.index_path.write_text("{torn")
+        assert store.read_index() == {}
+        assert store.get("k1") == 1  # records never depend on the index
+        store.put("k2", 2)  # index update survives the corrupt base
+        rebuilt = store.rebuild_index()
+        assert set(rebuilt) == {"k1", "k2"}
+        assert set(store.read_index()) == {"k1", "k2"}
+
+    def test_rebuild_index_drops_stale_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("gone", 1)
+        store.record_path("gone").unlink()
+        store.put("kept", 2)
+        assert set(store.rebuild_index()) == {"kept"}
+
+    def test_missing_directory_reads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert store.get("k") is None
+        assert store.keys() == []
+        assert store.read_index() == {}
+
+    def test_resolve_store(self, tmp_path):
+        assert resolve_store(None) is None
+        store = ResultStore(tmp_path)
+        assert resolve_store(store) is store
+        built = resolve_store(tmp_path)
+        assert isinstance(built, ResultStore)
+        assert built.directory == tmp_path
+        with pytest.raises(TypeError):
+            resolve_store(3.14)
+
+
+class TestSweepCacheLayoutCompat:
+    """The store layout is REPRO_CACHE_DIR-compatible in both directions."""
+
+    def test_sweep_cache_reads_store_records(self, tmp_path):
+        ResultStore(tmp_path).put("k", [1, 2, 3], kernel="engine_cell")
+        assert SweepCache(directory=tmp_path).get("k") == [1, 2, 3]
+
+    def test_store_reads_sweep_cache_entries(self, tmp_path):
+        SweepCache(directory=tmp_path).put("k", {"rows": [1]})
+        store = ResultStore(tmp_path)
+        assert store.get("k") == {"rows": [1]}
+        assert store.has("k")  # meta is optional: a bare cache entry counts
+
+
+def _race_same_cell(args):
+    directory, key, rounds = args
+    store = ResultStore(directory)
+    for _ in range(rounds):
+        store.put(key, {"cell": "deterministic-value", "n": 12},
+                  kernel="engine_cell", params={"n_bits": 12})
+    return True
+
+
+def _race_many_cells(args):
+    directory, rounds = args
+    store = ResultStore(directory)
+    for i in range(rounds):
+        key = f"cell{i % 10}"
+        store.put(key, {"value-for": key}, kernel="engine_cell")
+    return True
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_one_cell(self, tmp_path):
+        with multiprocessing.Pool(2) as pool:
+            done = pool.map(
+                _race_same_cell, [(str(tmp_path), "cell", 40)] * 2
+            )
+        assert done == [True, True]
+        store = ResultStore(tmp_path)
+        # Cells are deterministic, so last-writer-wins is value-identical;
+        # the record must be complete and readable, never torn.
+        assert store.get("cell") == {"cell": "deterministic-value", "n": 12}
+        assert set(store.read_index()) == {"cell"}
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_two_processes_racing_the_index(self, tmp_path):
+        with multiprocessing.Pool(2) as pool:
+            pool.map(_race_many_cells, [(str(tmp_path), 50)] * 2)
+        store = ResultStore(tmp_path)
+        expected = {f"cell{i}" for i in range(10)}
+        for key in expected:
+            assert store.get(key) == {"value-for": key}
+        # The flock-guarded read-modify-write means no put is lost from
+        # the index even under interleaving.
+        assert set(store.read_index()) == expected
+        assert set(store.keys()) == expected
+
+    def test_memo_cache_concurrent_writers_never_torn(self, tmp_path):
+        """The memo file cache shares the store's atomic write path."""
+        with multiprocessing.Pool(2) as pool:
+            pool.map(_memo_hammer, [(str(tmp_path), 40)] * 2)
+        cache = SweepCache(directory=tmp_path)
+        assert cache.get("memo-key") == {"rows": list(range(50))}
+
+
+def _memo_hammer(args):
+    directory, rounds = args
+    cache = SweepCache(directory=directory)
+    for _ in range(rounds):
+        cache.put("memo-key", {"rows": list(range(50))})
+    return True
+
+
+class TestIndexFileIsolation:
+    def test_index_never_shadows_a_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        assert INDEX_NAME not in [f"{key}.json" for key in store.keys()]
+        assert "index" not in store.keys()
+
+    def test_lock_file_is_hidden_from_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", 1)
+        assert store.keys() == ["k"]
+        assert os.path.exists(tmp_path / ".index.lock")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.summary import Headline, compute_headline, headline_text
+from repro.analysis.summary import compute_headline, headline_text
 
 
 @pytest.fixture(scope="module")

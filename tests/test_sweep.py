@@ -1,0 +1,442 @@
+"""Tests for the sharded sweep subsystem (repro.sweep)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.design_space import (
+    EngineRow,
+    HierarchyRow,
+    SpecializationRow,
+    engine_cell,
+    engine_grid,
+    engine_sweep,
+    hierarchy_grid,
+    hierarchy_sweep,
+    specialization_grid,
+    specialization_sweep,
+)
+from repro.perf.memo import stable_key
+from repro.perf.store import ResultStore
+from repro.sweep.cli import main as sweep_main
+from repro.sweep.grid import Cell, Grid, parse_shard_spec, shard_index
+from repro.sweep.runner import (
+    MissingCells,
+    compute_grid,
+    persist_rows,
+    rows_from_store,
+)
+
+#: One small grid, used consistently so CLI and in-process runs agree.
+GRID_KWARGS = dict(workloads=("draper_adder", "modexp_trace"), sizes=(16,),
+                   depths=(2,))
+GRID_ARGS = ["--workloads", "draper_adder", "modexp_trace",
+             "--sizes", "16", "--depths", "2"]
+
+
+class TestShardPlanner:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 7, 16])
+    def test_every_cell_in_exactly_one_shard(self, count):
+        grid = engine_grid(**GRID_KWARGS)
+        shards = [grid.shard(index, count) for index in range(count)]
+        seen = [cell for shard in shards for cell in shard]
+        assert len(seen) == len(grid)
+        assert set(seen) == set(grid.cells)
+        assert sum(grid.shard_sizes(count)) == len(grid)
+
+    def test_assignment_is_stable_and_key_only(self):
+        grid = engine_grid(**GRID_KWARGS)
+        for cell in grid:
+            index = shard_index(cell.key, 4)
+            assert shard_index(cell.key, 4) == index  # pure function
+            assert cell in grid.shard(index, 4).cells
+
+    def test_shards_preserve_canonical_order(self):
+        grid = engine_grid(**GRID_KWARGS)
+        positions = {cell: i for i, cell in enumerate(grid)}
+        for index in range(3):
+            owned = list(grid.shard(index, 3))
+            assert [positions[c] for c in owned] == sorted(
+                positions[c] for c in owned
+            )
+
+    def test_shard_validation(self):
+        grid = engine_grid(**GRID_KWARGS)
+        with pytest.raises(ValueError, match="0 <= i < K"):
+            grid.shard(4, 4)
+        with pytest.raises(ValueError, match="0 <= i < K"):
+            grid.shard(-1, 4)
+        with pytest.raises(ValueError, match="at least 1"):
+            shard_index("abc", 0)
+
+    def test_parse_shard_spec(self):
+        assert parse_shard_spec("0/1") == (0, 1)
+        assert parse_shard_spec("3/4") == (3, 4)
+        for bad in ["4/4", "-1/4", "1", "a/b", "1/0"]:
+            with pytest.raises(ValueError):
+                parse_shard_spec(bad)
+
+
+class TestGridAndCells:
+    def test_cell_key_matches_memo_hash(self):
+        cell = Cell.make("engine_cell", n_bits=16, workload="qft")
+        assert cell.key == stable_key("engine_cell", n_bits=16, workload="qft")
+
+    def test_cell_params_canonical_order(self):
+        a = Cell.make("k", x=1, y=2)
+        b = Cell.make("k", y=2, x=1)
+        assert a == b and a.key == b.key
+
+    def test_grid_rejects_foreign_cells(self):
+        with pytest.raises(ValueError, match="kernel"):
+            Grid("engine_cell", (Cell.make("other", x=1),))
+
+    def test_sweep_grids_match_sweep_enumeration(self):
+        # The grid *is* the sweep's canonical order: computing every
+        # cell in grid order reproduces the sweep row list exactly.
+        from repro.core.design_space import hierarchy_cell, specialization_cell
+
+        grid = specialization_grid(sizes=(32, 64))
+        computed = [specialization_cell(cell.as_dict()) for cell in grid]
+        assert computed == specialization_sweep(sizes=(32, 64), cache=False)
+
+        hgrid = hierarchy_grid(sizes=(256,))
+        computed = [hierarchy_cell(cell.as_dict()) for cell in hgrid]
+        assert computed == hierarchy_sweep(sizes=(256,), cache=False)
+
+
+class TestComputeGrid:
+    def test_store_roundtrip_and_no_recompute(self, tmp_path):
+        grid = engine_grid(**GRID_KWARGS)
+        store = ResultStore(tmp_path)
+        rows = compute_grid(grid, engine_cell, EngineRow, store=store)
+        assert store.status(grid.keys()).complete
+        # Warm pass: the kernel must never be called again.
+        warm = compute_grid(grid, _explodes, EngineRow, store=store)
+        assert warm == rows
+        assert rows_from_store(grid, EngineRow, store) == rows
+
+    def test_without_store_matches_with_store(self, tmp_path):
+        grid = engine_grid(**GRID_KWARGS)
+        plain = compute_grid(grid, engine_cell, EngineRow)
+        stored = compute_grid(
+            grid, engine_cell, EngineRow, store=ResultStore(tmp_path)
+        )
+        assert plain == stored
+
+    def test_schema_mismatched_record_is_recomputed(self, tmp_path):
+        grid = engine_grid(**GRID_KWARGS)
+        store = ResultStore(tmp_path)
+        rows = compute_grid(grid, engine_cell, EngineRow, store=store)
+        victim = grid.cells[0]
+        store.put(victim.key, {"not": "an engine row"})
+        healed = compute_grid(grid, engine_cell, EngineRow, store=store)
+        assert healed == rows
+        assert rows_from_store(grid, EngineRow, store) == rows
+
+    def test_rows_from_store_raises_on_missing(self, tmp_path):
+        grid = engine_grid(**GRID_KWARGS)
+        with pytest.raises(MissingCells, match="missing"):
+            rows_from_store(grid, EngineRow, ResultStore(tmp_path))
+
+    def test_results_persist_incrementally(self, tmp_path):
+        """Each record lands as its cell finishes: a crash mid-grid
+        keeps everything computed so far, not just full batches."""
+        grid = engine_grid(**GRID_KWARGS)
+        store = ResultStore(tmp_path)
+        progress = {"calls": 0}
+
+        def dies_after_three(params):
+            if progress["calls"] >= 3:
+                raise RuntimeError("simulated crash")
+            progress["calls"] += 1
+            return engine_cell(params)
+
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            compute_grid(grid, dies_after_three, EngineRow, store=store)
+        status = store.status(grid.keys())
+        assert status.done == 3
+        # The batched advisory index still covers the survivors.
+        assert len(store.read_index()) == 3
+        # And a resume-style pass completes without touching them.
+        mtimes = {
+            key: store.record_path(key).stat().st_mtime_ns
+            for key in grid.keys() if store.has(key)
+        }
+        full = compute_grid(grid, engine_cell, EngineRow, store=store)
+        for key, mtime in mtimes.items():
+            assert store.record_path(key).stat().st_mtime_ns == mtime
+        assert rows_from_store(grid, EngineRow, store) == full
+
+    def test_memo_hit_writes_through_to_store(self, tmp_path):
+        """A whole-sweep memoization hit must still populate store=."""
+        from repro.perf.memo import SweepCache
+
+        memo = SweepCache()
+        warm = engine_sweep(**GRID_KWARGS, cache=memo)  # populates the memo
+        hit = engine_sweep(**GRID_KWARGS, cache=memo, store=tmp_path)
+        assert hit == warm
+        grid = engine_grid(**GRID_KWARGS)
+        store = ResultStore(tmp_path)
+        assert store.status(grid.keys()).complete
+        assert set(store.read_index()) == set(grid.keys())
+        assert rows_from_store(grid, EngineRow, store) == warm
+
+    def test_persist_rows_skips_existing_records(self, tmp_path):
+        grid = engine_grid(**GRID_KWARGS)
+        store = ResultStore(tmp_path)
+        rows = compute_grid(grid, engine_cell, EngineRow, store=store)
+        mtimes = {
+            key: store.record_path(key).stat().st_mtime_ns
+            for key in grid.keys()
+        }
+        persist_rows(grid, rows, store)
+        for key, mtime in mtimes.items():
+            assert store.record_path(key).stat().st_mtime_ns == mtime
+
+
+def _explodes(params):
+    raise AssertionError(f"cell recomputed despite stored record: {params}")
+
+
+class TestSweepStoreWiring:
+    """All three public sweeps read through a store= before computing."""
+
+    def test_specialization_sweep_store(self, tmp_path):
+        plain = specialization_sweep(sizes=(32, 64), cache=False)
+        first = specialization_sweep(sizes=(32, 64), cache=False,
+                                     store=tmp_path)
+        warm = specialization_sweep(sizes=(32, 64), cache=False,
+                                    store=tmp_path)
+        assert plain == first == warm
+        grid = specialization_grid(sizes=(32, 64))
+        assert ResultStore(tmp_path).status(grid.keys()).complete
+
+    def test_hierarchy_sweep_store(self, tmp_path):
+        plain = hierarchy_sweep(sizes=(256,), cache=False)
+        stored = hierarchy_sweep(sizes=(256,), cache=False, store=tmp_path)
+        warm = hierarchy_sweep(sizes=(256,), cache=False, store=tmp_path)
+        assert plain == stored == warm
+
+    def test_engine_sweep_store(self, tmp_path):
+        plain = engine_sweep(**GRID_KWARGS, cache=False)
+        stored = engine_sweep(**GRID_KWARGS, cache=False, store=tmp_path)
+        warm = engine_sweep(**GRID_KWARGS, cache=False, store=tmp_path)
+        assert plain == stored == warm
+
+
+class TestCliShardedEquivalence:
+    """Acceptance: K-sharded CLI run + merge == single-process sweep."""
+
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_sharded_run_merge_bit_identical(self, tmp_path, count):
+        store_dir = str(tmp_path / "store")
+        for index in range(count):
+            code = sweep_main(["run", "--shard", f"{index}/{count}",
+                               "--store", store_dir, *GRID_ARGS])
+            assert code == 0
+        out = tmp_path / "rows.json"
+        code = sweep_main(["merge", "--store", store_dir, "--output",
+                           str(out), *GRID_ARGS])
+        assert code == 0
+        merged = [EngineRow(**row) for row in json.loads(out.read_text())]
+        single = engine_sweep(**GRID_KWARGS, cache=False)
+        assert merged == single  # bit-identical: frozen dataclass equality
+
+    def test_merge_verify_gate(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert sweep_main(["run", "--shard", "0/1", "--store", store_dir,
+                           *GRID_ARGS]) == 0
+        assert sweep_main(["merge", "--store", store_dir, "--verify",
+                           *GRID_ARGS, "--output",
+                           str(tmp_path / "rows.json")]) == 0
+
+    def test_merge_verify_catches_tampering(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert sweep_main(["run", "--shard", "0/1", "--store",
+                           str(store_dir), *GRID_ARGS]) == 0
+        store = ResultStore(store_dir)
+        grid = engine_grid(**GRID_KWARGS)
+        victim = grid.cells[0]
+        tampered = dict(store.get(victim.key))
+        tampered["makespan_s"] = tampered["makespan_s"] * 2
+        store.put(victim.key, tampered)
+        assert sweep_main(["merge", "--store", str(store_dir), "--verify",
+                           *GRID_ARGS]) == 1
+        assert "verify FAILED" in capsys.readouterr().err
+
+    def test_merge_fails_loudly_on_missing_cells(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert sweep_main(["run", "--shard", "0/2", "--store", store_dir,
+                           *GRID_ARGS]) == 0
+        code = sweep_main(["merge", "--store", store_dir, *GRID_ARGS])
+        assert code == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_table_kernels_shard_and_merge(self, tmp_path):
+        """--kernel shards the Table 4/5 grids, not just the engine's."""
+        store_dir = str(tmp_path / "store")
+        args = ["--kernel", "specialization_cell", "--sizes", "32", "64"]
+        for index in range(2):
+            assert sweep_main(["run", "--shard", f"{index}/2", "--store",
+                               store_dir, *args]) == 0
+        out = tmp_path / "rows.json"
+        assert sweep_main(["merge", "--store", store_dir, "--verify",
+                           "--output", str(out), *args]) == 0
+        merged = [
+            SpecializationRow(**row) for row in json.loads(out.read_text())
+        ]
+        assert merged == specialization_sweep(sizes=(32, 64), cache=False)
+
+        store_dir = str(tmp_path / "store5")
+        args = ["--kernel", "hierarchy_cell", "--sizes", "256",
+                "--transfers", "10"]
+        assert sweep_main(["run", "--shard", "0/1", "--store", store_dir,
+                           *args]) == 0
+        out = tmp_path / "rows5.json"
+        assert sweep_main(["merge", "--store", store_dir, "--verify",
+                           "--output", str(out), *args]) == 0
+        merged = [HierarchyRow(**row) for row in json.loads(out.read_text())]
+        assert merged == hierarchy_sweep(sizes=(256,), transfer_options=(10,),
+                                         cache=False)
+
+    def test_engine_only_options_rejected_for_table_kernels(self, tmp_path):
+        with pytest.raises(SystemExit, match="engine-grid options"):
+            sweep_main(["run", "--shard", "0/1", "--store",
+                        str(tmp_path / "s"), "--kernel", "hierarchy_cell",
+                        "--depths", "2"])
+
+    def test_status_reports_progress(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert sweep_main(["run", "--shard", "0/2", "--store", store_dir,
+                           *GRID_ARGS]) == 0
+        code = sweep_main(["status", "--store", store_dir, "--shards", "2",
+                           *GRID_ARGS])
+        assert code == 1  # incomplete grid: nonzero for scripting
+        text = capsys.readouterr().out
+        assert "shard 0/2" in text and "shard 1/2" in text
+        assert sweep_main(["run", "--shard", "1/2", "--store", store_dir,
+                           *GRID_ARGS]) == 0
+        assert sweep_main(["status", "--store", store_dir, *GRID_ARGS]) == 0
+
+
+class TestResume:
+    def test_resume_completes_without_recomputing(self, tmp_path, capsys):
+        """Partial store (as a killed worker leaves it, plus one torn
+        record and a stray temp file) -> resume computes only the gap."""
+        store_dir = tmp_path / "store"
+        assert sweep_main(["run", "--shard", "0/3", "--store",
+                           str(store_dir), *GRID_ARGS]) == 0
+        store = ResultStore(store_dir)
+        grid = engine_grid(**GRID_KWARGS)
+        done_before = {
+            key: store.record_path(key).stat().st_mtime_ns
+            for key in grid.keys() if store.has(key)
+        }
+        assert 0 < len(done_before) < len(grid)
+        # A non-atomic writer dying mid-write would leave these; the
+        # atomic store never does, but resume must shrug either off.
+        torn_key = next(k for k in grid.keys() if k not in done_before)
+        store.record_path(torn_key).write_text('{"value": {"work')
+        (store_dir / ".deadbeef-000.tmp").write_text("half a record")
+        capsys.readouterr()
+        assert sweep_main(["resume", "--store", str(store_dir),
+                           *GRID_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(done_before)} already stored" in out
+        assert f"{len(grid) - len(done_before)} computed" in out
+        # Finished cells were not rewritten...
+        for key, mtime in done_before.items():
+            assert store.record_path(key).stat().st_mtime_ns == mtime
+        # ...and the completed store merges bit-identically.
+        assert rows_from_store(grid, EngineRow, store) == engine_sweep(
+            **GRID_KWARGS, cache=False
+        )
+
+    def test_resume_after_real_kill(self, tmp_path):
+        """SIGKILL a serial worker mid-shard; resume finishes the grid."""
+        store_dir = tmp_path / "store"
+        args = ["--workloads", "draper_adder", "qft", "--sizes", "16", "32",
+                "--depths", "2", "3"]
+        kwargs = dict(workloads=("draper_adder", "qft"), sizes=(16, 32),
+                      depths=(2, 3))
+        env = dict(os.environ)
+        inherited = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = "src" + (os.pathsep + inherited if inherited else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.sweep", "run", "--shard", "0/1",
+             "--store", str(store_dir), *args],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break  # finished before we could kill: still a valid run
+                if store_dir.is_dir() and len(
+                    [p for p in store_dir.glob("*.json")
+                     if p.name != "index.json"]
+                ) >= 2:
+                    proc.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.005)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - safety net
+                proc.kill()
+                proc.wait()
+        store = ResultStore(store_dir)
+        grid = engine_grid(**kwargs)
+        survivors = {
+            key: store.record_path(key).stat().st_mtime_ns
+            for key in grid.keys() if store.has(key)
+        }
+        assert survivors  # the poll above saw >= 2 records
+        assert sweep_main(["resume", "--store", str(store_dir), *args]) == 0
+        for key, mtime in survivors.items():
+            assert store.record_path(key).stat().st_mtime_ns == mtime
+        assert rows_from_store(grid, EngineRow, store) == engine_sweep(
+            **kwargs, cache=False
+        )
+
+
+class TestTablesFromStore:
+    def test_engine_table_from_store(self, tmp_path):
+        from repro.analysis import (
+            engine_table_from_store,
+            engine_table_text,
+            engine_table_text_from_store,
+        )
+
+        rows = engine_sweep(**GRID_KWARGS, cache=False, store=tmp_path)
+        assert engine_table_from_store(tmp_path, **GRID_KWARGS) == rows
+        assert engine_table_text_from_store(
+            tmp_path, **GRID_KWARGS
+        ) == engine_table_text(**GRID_KWARGS, cache=False)
+        with pytest.raises(MissingCells):
+            engine_table_from_store(tmp_path)  # default grid is larger
+
+    def test_row_json_roundtrip_is_exact(self, tmp_path):
+        """Floats survive the record JSON bit-for-bit (repr round-trip)."""
+        rows = engine_sweep(**GRID_KWARGS, cache=False)
+        for row in rows:
+            rebuilt = EngineRow(**json.loads(json.dumps(asdict(row))))
+            assert rebuilt == row
+
+
+class TestHierarchySweepRowTypes:
+    def test_row_types_json_roundtrip(self):
+        for sweep, row_type, kwargs in [
+            (specialization_sweep, SpecializationRow, dict(sizes=(32,))),
+            (hierarchy_sweep, HierarchyRow, dict(sizes=(256,))),
+        ]:
+            rows = sweep(cache=False, **kwargs)
+            for row in rows:
+                assert row_type(**json.loads(json.dumps(asdict(row)))) == row
