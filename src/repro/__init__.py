@@ -13,11 +13,22 @@ of Thaker, Metodi, Cross, Chuang and Chong, built from scratch:
 * :mod:`repro.arch` — tiles, memory/compute/cache regions, the QLA
   baseline, teleportation interconnect and bandwidth models;
 * :mod:`repro.core` — the CQLA design object, the quantum memory
-  hierarchy, fidelity budgeting and the gain-product metrics;
-* :mod:`repro.sim` — block scheduler, cache simulator, hierarchy
+  hierarchy, fidelity budgeting, the gain-product metrics and the
+  design-space grids/sweeps;
+* :mod:`repro.sim` — the N-level policy-pluggable hierarchy engine on
+  its discrete-event kernel (pure and mixed-code stacks, eviction
+  policies, exact prefetchers), plus the block scheduler, cache
   simulator and communication accounting;
+* :mod:`repro.perf` — memoization, process-pool fan-out and the
+  durable content-addressed result store;
+* :mod:`repro.sweep` — sharded sweep orchestration over that store
+  (``python -m repro.sweep``);
 * :mod:`repro.analysis` — builders regenerating every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation, with the published values alongside.
+
+``docs/architecture.md`` maps the layers in detail;
+``docs/reproducing-the-paper.md`` maps each paper artifact to its
+module, public call and pinning test.
 
 Quickstart::
 

@@ -1,4 +1,16 @@
-"""Analysis: regenerate every table and figure of the evaluation."""
+"""Analysis: regenerate every table and figure of the evaluation.
+
+This package owns the reporting layer: each ``tableN()`` /
+``figN()`` builder returns structured rows, each ``*_text()`` variant
+renders them next to the published values
+(:mod:`repro.analysis.paper_values`, the transcription the regression
+tests pin against), and the ``*_from_store`` variants render straight
+from a sharded-sweep result store without recomputing.
+:mod:`repro.analysis.summary` reproduces the abstract's headline
+claims and :mod:`repro.analysis.sensitivity` the beyond-the-paper
+ablations.  ``docs/reproducing-the-paper.md`` maps every artifact to
+its builder and pinning test.
+"""
 
 from . import paper_values, sensitivity
 from .summary import Headline, compute_headline, headline_text
@@ -30,7 +42,10 @@ from .tables import (
     table2,
     table2_text,
     table3,
+    table3_from_store,
+    table3_rows,
     table3_text,
+    table3_text_from_store,
     table4,
     table4_text,
     table5,
@@ -69,7 +84,10 @@ __all__ = [
     "table2",
     "table2_text",
     "table3",
+    "table3_from_store",
+    "table3_rows",
     "table3_text",
+    "table3_text_from_store",
     "table4",
     "table4_text",
     "table5",

@@ -14,9 +14,11 @@ from ..core.design_space import (
     EngineRow,
     HierarchyRow,
     SpecializationRow,
+    TransferRow,
     engine_sweep,
     hierarchy_sweep,
     specialization_sweep,
+    transfer_sweep,
 )
 from ..ecc.concatenated import by_key
 from ..ecc.transfer import standard_points, transfer_time_s
@@ -115,6 +117,12 @@ def table2_text() -> str:
 # ----------------------------------------------------------------------
 
 def table3() -> Dict[Tuple[str, str], float]:
+    """The full 4x4 transfer matrix keyed by (source, dest) labels.
+
+    Off-diagonal cells (different code families) are the cross-code
+    boundary prices a mixed-code :class:`~repro.sim.levels.HierarchyStack`
+    builds its transfer networks from.
+    """
     points = standard_points()
     return {
         (src.label, dst.label): transfer_time_s(src, dst)
@@ -123,17 +131,53 @@ def table3() -> Dict[Tuple[str, str], float]:
     }
 
 
-def table3_text() -> str:
-    points = [p.label for p in standard_points()]
-    matrix = table3()
-    rows = []
+def table3_rows() -> List[TransferRow]:
+    """Table 3 as sweep rows (the :func:`transfer_sweep` enumeration)."""
+    return transfer_sweep()
+
+
+def table3_from_store(store) -> List[TransferRow]:
+    """Table 3 rows read straight from a sharded-sweep result store.
+
+    ``store`` is a directory path or :class:`repro.perf.store.ResultStore`
+    filled by ``python -m repro.sweep run --kernel transfer_cell``
+    workers.  Nothing is computed: a store missing any of the 16 cells
+    raises :class:`repro.sweep.runner.MissingCells`.
+    """
+    from ..core.design_space import transfer_grid
+    from ..sweep.runner import rows_from_store
+
+    return rows_from_store(transfer_grid(), TransferRow, store)
+
+
+def _render_table3(rows: List[TransferRow]) -> str:
+    """The measured matrix with the published value beside each cell."""
+    matrix = {(row.source, row.dest): row.transfer_s for row in rows}
+    points = sorted({row.source for row in rows})
+    points = [p for p in (x.label for x in standard_points()) if p in points]
+    body = []
     for src in points:
-        rows.append([src] + [matrix[(src, dst)] for dst in points])
+        cells = [src]
+        for dst in points:
+            paper = paper_values.TRANSFER_S.get((src, dst))
+            paper_text = "?" if paper is None else f"{paper:g}"
+            cells.append(f"{matrix[(src, dst)]:.3g} ({paper_text})")
+        body.append(cells)
     return format_table(
         ["from \\ to"] + points,
-        rows,
-        title="Table 3: transfer network latency (seconds)",
+        body,
+        title="Table 3: transfer network latency, "
+              "measured (paper) in seconds",
     )
+
+
+def table3_text() -> str:
+    return _render_table3(table3_rows())
+
+
+def table3_text_from_store(store) -> str:
+    """:func:`table3_text`, but rendered from stored records only."""
+    return _render_table3(table3_from_store(store))
 
 
 # ----------------------------------------------------------------------
@@ -241,8 +285,11 @@ def engine_table_from_store(store, **grid_kwargs) -> List[EngineRow]:
 def _render_engine_table(rows: List[EngineRow]) -> str:
     body = []
     for row in rows:
+        code = row.code_key
+        if row.memory_code_key != row.code_key:
+            code = f"{row.code_key}/{row.memory_code_key}"
         body.append([
-            row.workload, row.n_bits, row.code_key, row.depth, row.policy,
+            row.workload, row.n_bits, code, row.depth, row.policy,
             row.prefetch, row.hit_rate, row.speedup,
             row.transfer_bound_fraction, row.transfers, row.makespan_s,
         ])
@@ -251,7 +298,8 @@ def _render_engine_table(rows: List[EngineRow]) -> str:
          "hit rate", "speedup", "xfer-bound", "transfers", "makespan"],
         body,
         title=("Extension: hierarchy-engine design space "
-               "(depth x policy x workload x prefetch)"),
+               "(depth x policy x workload x prefetch; "
+               "code is compute[/memory] family)"),
     )
 
 

@@ -1,4 +1,17 @@
-"""Architecture layer: tiles, regions, QLA baseline, interconnect."""
+"""Architecture layer: tiles, regions, QLA baseline, interconnect.
+
+This package owns the machine's floor: :mod:`repro.arch.tile` sizes
+the per-qubit sites, :mod:`repro.arch.regions` composes them into
+memory/compute/cache regions and the :class:`CqlaFloorplan` (whose
+level-1 region may sit in a different code family than memory —
+``l1_code_key`` — with the transfer ports priced from both endpoint
+encodings), :mod:`repro.arch.qla` is the homogeneous baseline the
+gains are measured against, and :mod:`repro.arch.interconnect` /
+:mod:`repro.arch.bandwidth` model teleportation channels, the mesh
+all-to-all and the superblock perimeter-bandwidth crossover of
+Figure 6b.  Areas and channel counts live here; timing lives in
+:mod:`repro.sim`.
+"""
 
 from .bandwidth import (
     BandwidthPoint,

@@ -125,6 +125,13 @@ class CqlaFloorplan:
     ``l1_blocks=0`` gives the Table 4 configuration (specialization
     only); a positive value adds the level-1 compute region, cache and
     transfer network of Table 5.
+
+    ``l1_code_key`` optionally encodes the level-1 compute region and
+    cache in a *different* code family than the memory and level-2
+    compute (``None`` keeps the paper's one-code floorplan).  The
+    transfer network between the regions is then cross-code: both of
+    its endpoints route through the Table 3 latency model, and each
+    transfer port parks one qubit of each endpoint encoding.
     """
 
     code_key: str
@@ -133,6 +140,7 @@ class CqlaFloorplan:
     l1_blocks: int = 0
     cache_factor: float = CACHE_CAPACITY_FACTOR
     parallel_transfers: int = 10
+    l1_code_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.memory_qubits < 1:
@@ -143,6 +151,18 @@ class CqlaFloorplan:
             raise ValueError("level-1 block count cannot be negative")
         if self.cache_factor <= 0:
             raise ValueError("cache factor must be positive")
+        if self.l1_code_key is not None:
+            by_key(self.l1_code_key)  # validates the key
+            if self.l1_code_key == self.code_key:
+                # Normalize: a same-code floorplan compares (and
+                # hashes) equal whether the L1 code was spelled out or
+                # not, matching TransferNetwork and MemoryHierarchy.
+                object.__setattr__(self, "l1_code_key", None)
+
+    @property
+    def effective_l1_code_key(self) -> str:
+        """The level-1 region's code family (memory's unless overridden)."""
+        return self.l1_code_key or self.code_key
 
     # -- regions --------------------------------------------------------
     @property
@@ -157,7 +177,8 @@ class CqlaFloorplan:
     def l1_compute(self) -> Optional[ComputeRegion]:
         if self.l1_blocks == 0:
             return None
-        return ComputeRegion(self.code_key, self.l1_blocks, level=1)
+        return ComputeRegion(self.effective_l1_code_key, self.l1_blocks,
+                             level=1)
 
     @property
     def cache(self) -> Optional[CacheRegion]:
@@ -165,25 +186,28 @@ class CqlaFloorplan:
         if l1 is None:
             return None
         capacity = math.ceil(self.cache_factor * l1.data_qubits)
-        return CacheRegion(self.code_key, capacity)
+        return CacheRegion(self.effective_l1_code_key, capacity)
 
     @property
     def transfer_network(self) -> Optional[TransferNetwork]:
         if self.l1_blocks == 0:
             return None
         return TransferNetwork(
-            code_key=self.code_key,
+            code_key=self.effective_l1_code_key,
             parallel_transfers=self.parallel_transfers,
+            memory_code_key=self.code_key,
         )
 
     # -- area -----------------------------------------------------------
     def transfer_area_mm2(self) -> float:
         """Footprint of the code-transfer ports: each concurrent transfer
-        parks one level-2 and one level-1 qubit."""
+        parks one memory-side (level-2) and one cache-side (level-1)
+        qubit, each in its own region's encoding."""
         if self.l1_blocks == 0:
             return 0.0
-        code = by_key(self.code_key)
-        per_port = code.qubit_area_mm2(2) + code.qubit_area_mm2(1)
+        memory_code = by_key(self.code_key)
+        l1_code = by_key(self.effective_l1_code_key)
+        per_port = memory_code.qubit_area_mm2(2) + l1_code.qubit_area_mm2(1)
         return self.parallel_transfers * per_port
 
     def area_mm2(self) -> float:

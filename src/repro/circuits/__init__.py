@@ -1,4 +1,16 @@
-"""Logical circuits: gate IR, DAG analysis, workload generators, ISA."""
+"""Logical circuits: gate IR, DAG analysis, workload generators, ISA.
+
+This package owns everything the simulators consume as *programs*:
+the :class:`Circuit` gate IR and its operand traces
+(:mod:`repro.circuits.circuit`), dependency analysis
+(:mod:`repro.circuits.dag`), the concrete generators — Draper
+carry-lookahead adder, QFT, Shor modular exponentiation — and the
+workload registry (:mod:`repro.circuits.workloads`) that gives sweeps
+stable names and memoization keys.  :mod:`repro.circuits.isa` is the
+cache-control instruction encoding.  Circuits are code-agnostic:
+encoding choices enter only when a circuit meets a
+:class:`repro.sim.levels.HierarchyStack`.
+"""
 
 from .circuit import Circuit
 from .dag import CircuitDag, operand_stream, parallelism_series

@@ -1,7 +1,26 @@
-"""The CQLA core: design objects, memory hierarchy, fidelity, metrics."""
+"""The CQLA core: design objects, memory hierarchy, fidelity, metrics.
+
+This package owns the paper's *design level* — everything between the
+architectural models and the rendered tables:
+
+* :mod:`repro.core.cqla` — :class:`CqlaDesign`, the specialized
+  compute/memory design point of Table 4;
+* :mod:`repro.core.hierarchy` — :class:`MemoryHierarchy`, the Table 5
+  design extended with the level-1 cache (optionally in a different
+  code family via ``l1_code_key``, routing the cross-code boundary
+  through the Table 3 off-diagonal pricing);
+* :mod:`repro.core.fidelity` / :mod:`repro.core.metrics` /
+  :mod:`repro.core.granularity` — error budgets, gain products and
+  block-granularity studies;
+* :mod:`repro.core.design_space` — the canonical sweep grids and
+  sweeps (Tables 3/4/5 and the generalized engine design space,
+  including the mixed-code ``code_pairs`` axis), all executing through
+  :mod:`repro.sweep` with :mod:`repro.perf` memoization.
+"""
 
 from .cqla import CqlaDesign
 from .design_space import (
+    ENGINE_CODE_PAIRS,
     ENGINE_PREFETCHERS,
     ENGINE_WORKLOADS,
     EngineRow,
@@ -9,6 +28,7 @@ from .design_space import (
     PAPER_BLOCK_CHOICES,
     PAPER_INPUT_SIZES,
     SpecializationRow,
+    TransferRow,
     block_choices,
     engine_grid,
     engine_sweep,
@@ -17,6 +37,8 @@ from .design_space import (
     performance_blocks,
     specialization_grid,
     specialization_sweep,
+    transfer_grid,
+    transfer_sweep,
 )
 from .fidelity import FidelityBudget, application_kq
 from .granularity import (
@@ -31,6 +53,7 @@ __all__ = [
     "CqlaDesign",
     "DEFAULT_POLICY",
     "DesignMetrics",
+    "ENGINE_CODE_PAIRS",
     "ENGINE_PREFETCHERS",
     "ENGINE_WORKLOADS",
     "EngineRow",
@@ -46,6 +69,7 @@ __all__ = [
     "PAPER_BLOCK_CHOICES",
     "PAPER_INPUT_SIZES",
     "SpecializationRow",
+    "TransferRow",
     "application_kq",
     "block_choices",
     "gain_product",
@@ -54,5 +78,7 @@ __all__ = [
     "performance_blocks",
     "specialization_grid",
     "specialization_sweep",
+    "transfer_grid",
+    "transfer_sweep",
     "utilization_efficiency",
 ]

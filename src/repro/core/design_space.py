@@ -252,6 +252,124 @@ def hierarchy_sweep(
 
 
 # ----------------------------------------------------------------------
+# Table 3 — the full (source, destination) transfer-latency matrix
+# ----------------------------------------------------------------------
+
+#: Code-recursion levels of the Table 3 study: together with
+#: :data:`PAPER_CODE_KEYS` they span the four encoding points 7-L1,
+#: 7-L2, 9-L1, 9-L2.
+TABLE3_LEVELS = (1, 2)
+
+
+@dataclass(frozen=True)
+class TransferRow:
+    """One cell of the Table 3 transfer-latency matrix.
+
+    Off-diagonal cells (``source_code_key != dest_code_key``) are the
+    cross-code transfers a mixed-code hierarchy stack prices its
+    boundaries from; ``channels_per_transfer`` is the teleport-channel
+    occupancy of one such transfer (the wider of the two codes').
+    """
+
+    source: str
+    dest: str
+    source_code_key: str
+    source_level: int
+    dest_code_key: str
+    dest_level: int
+    transfer_s: float
+    channels_per_transfer: int
+
+
+def transfer_cell(params: Mapping[str, Any]) -> TransferRow:
+    """One Table 3 cell; module-level so worker processes can pickle it."""
+    from ..ecc.concatenated import by_key
+    from ..ecc.transfer import CodePoint, transfer_time_s
+
+    source = CodePoint(params["source_code_key"], params["source_level"])
+    dest = CodePoint(params["dest_code_key"], params["dest_level"])
+    return TransferRow(
+        source=source.label,
+        dest=dest.label,
+        source_code_key=source.code_key,
+        source_level=source.level,
+        dest_code_key=dest.code_key,
+        dest_level=dest.level,
+        transfer_s=transfer_time_s(source, dest),
+        channels_per_transfer=max(
+            by_key(source.code_key).spec.teleport_channels,
+            by_key(dest.code_key).spec.teleport_channels,
+        ),
+    )
+
+
+def transfer_grid(
+    code_keys: Sequence[str] = PAPER_CODE_KEYS,
+    levels: Sequence[int] = TABLE3_LEVELS,
+) -> Grid:
+    """The canonical Table 3 cell enumeration (all ordered point pairs).
+
+    Points enumerate code-major then level-major, matching
+    :func:`repro.ecc.transfer.standard_points`; the full default grid
+    is the 16-cell 4x4 matrix, diagonal and off-diagonal alike.
+    """
+    points = [
+        (code_key, level) for code_key in code_keys for level in levels
+    ]
+    cells = tuple(
+        Cell.make(
+            "transfer_cell",
+            source_code_key=src_code,
+            source_level=src_level,
+            dest_code_key=dst_code,
+            dest_level=dst_level,
+        )
+        for src_code, src_level in points
+        for dst_code, dst_level in points
+    )
+    return Grid("transfer_cell", cells)
+
+
+def transfer_sweep(
+    code_keys: Sequence[str] = PAPER_CODE_KEYS,
+    levels: Sequence[int] = TABLE3_LEVELS,
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+    store=None,
+) -> List[TransferRow]:
+    """Evaluate every Table 3 cell.
+
+    The cells are tiny (closed-form latency arithmetic) — the sweep
+    exists so the Table 3 matrix flows through the same grid/store
+    machinery as every other table: sharded workers can fill a store
+    (``python -m repro.sweep run --kernel transfer_cell``) and
+    :func:`repro.analysis.tables.table3_from_store` renders from it.
+    """
+    memo = resolve_cache(cache)
+    key = stable_key(
+        "transfer_sweep", code_keys=list(code_keys), levels=list(levels)
+    )
+    grid = transfer_grid(code_keys, levels)
+    if memo is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            try:
+                rows = [TransferRow(**row) for row in hit]
+            except TypeError:
+                pass  # malformed persisted entry: fall through, recompute
+            else:
+                persist_rows(grid, rows, store)
+                return rows
+    rows = compute_grid(
+        grid, transfer_cell, TransferRow, store=store, workers=workers
+    )
+    if memo is not None:
+        memo.put(key, [asdict(row) for row in rows])
+    return rows
+
+
+# ----------------------------------------------------------------------
 # generalized-engine sweep: (depth, policy, workload, prefetch)
 # ----------------------------------------------------------------------
 
@@ -271,14 +389,32 @@ ENGINE_CODE_KEYS = ("steane",)
 ENGINE_DEPTHS = (2, 3)
 ENGINE_TRANSFER_OPTIONS = (10,)
 
+#: Default mixed-code (compute code, memory code) pairs of the engine
+#: study.  Empty by default: pure-code grids stay cell-for-cell
+#: identical to the pre-mixed-stack enumeration (same parameter sets,
+#: same content hashes — though records written under the old
+#: :class:`EngineRow` schema are recomputed, not misread; see the row
+#: docstring).  Pass e.g. ``code_pairs=[("bacon_shor", "steane")]`` —
+#: or ``--code-pairs bacon_shor:steane`` on the sharded CLI — to add
+#: the mixed axis.
+ENGINE_CODE_PAIRS: Tuple[Tuple[str, str], ...] = ()
+
 
 @dataclass(frozen=True)
 class EngineRow:
-    """One cell of the (depth, policy, workload, prefetch) engine sweep."""
+    """One cell of the (depth, policy, workload, prefetch) engine sweep.
+
+    ``memory_code_key`` is the code family of every level below the
+    compute level; it equals ``code_key`` for pure-code stacks and
+    differs on the mixed-code (``code_pairs``) axis.  It has no default
+    on purpose: records persisted by pre-mixed-stack layouts fail
+    reconstruction and are recomputed rather than silently misread.
+    """
 
     workload: str
     n_bits: int
     code_key: str
+    memory_code_key: str
     depth: int
     policy: str
     prefetch: str
@@ -323,19 +459,35 @@ def _fetch_order(
 
 
 def engine_cell(params: Mapping[str, Any]) -> EngineRow:
-    """One engine cell; module-level so worker processes can pickle it."""
+    """One engine cell; module-level so worker processes can pickle it.
+
+    A ``memory_code_key`` parameter (present only on mixed-code cells,
+    so pure-code cell hashes are unchanged) encodes every level below
+    the compute level in that code family via
+    :func:`repro.sim.levels.mixed_stack`.
+    """
     from ..circuits.workloads import build_workload
-    from ..sim.levels import simulate_hierarchy_run, standard_stack
+    from ..sim.levels import mixed_stack, simulate_hierarchy_run, standard_stack
 
     workload = params["workload"]
     n_bits = params["n_bits"]
+    code_key = params["code_key"]
+    memory_code_key = params.get("memory_code_key", code_key)
     circuit = build_workload(workload, n_bits)
-    stack = standard_stack(
-        params["code_key"], params["depth"],
-        compute_qubits=params["compute_qubits"],
-        cache_factor=params["cache_factor"],
-        parallel_transfers=params["parallel_transfers"],
-    )
+    if memory_code_key != code_key:
+        stack = mixed_stack(
+            code_key, memory_code_key, params["depth"],
+            compute_qubits=params["compute_qubits"],
+            cache_factor=params["cache_factor"],
+            parallel_transfers=params["parallel_transfers"],
+        )
+    else:
+        stack = standard_stack(
+            code_key, params["depth"],
+            compute_qubits=params["compute_qubits"],
+            cache_factor=params["cache_factor"],
+            parallel_transfers=params["parallel_transfers"],
+        )
     order = _fetch_order(
         workload, n_bits, params["compute_qubits"], params["cache_factor"]
     )
@@ -346,7 +498,8 @@ def engine_cell(params: Mapping[str, Any]) -> EngineRow:
     return EngineRow(
         workload=workload,
         n_bits=n_bits,
-        code_key=params["code_key"],
+        code_key=code_key,
+        memory_code_key=memory_code_key,
         depth=params["depth"],
         policy=params["policy"],
         prefetch=params["prefetch"],
@@ -359,6 +512,30 @@ def engine_cell(params: Mapping[str, Any]) -> EngineRow:
     )
 
 
+def _normalize_code_pairs(
+    code_pairs: Sequence[Sequence[str]],
+) -> Tuple[Tuple[str, str], ...]:
+    """Validate and canonicalize a (compute code, memory code) axis.
+
+    Both keys must name registered codes — an unknown code fails here,
+    at grid-build time, rather than mid-shard inside a worker process.
+    """
+    from ..ecc.concatenated import by_key
+
+    pairs = []
+    for pair in code_pairs:
+        compute_code, memory_code = pair
+        by_key(compute_code)
+        by_key(memory_code)
+        if compute_code == memory_code:
+            raise ValueError(
+                f"code pair {compute_code!r}:{memory_code!r} is not mixed; "
+                "pure-code stacks belong on the code_keys axis"
+            )
+        pairs.append((compute_code, memory_code))
+    return tuple(pairs)
+
+
 def engine_grid(
     workloads: Sequence[str] = ENGINE_WORKLOADS,
     sizes: Sequence[int] = ENGINE_SIZES,
@@ -369,17 +546,29 @@ def engine_grid(
     transfer_options: Sequence[int] = ENGINE_TRANSFER_OPTIONS,
     compute_qubits: int = ENGINE_COMPUTE_QUBITS,
     cache_factor: float = ENGINE_CACHE_FACTOR,
+    code_pairs: Sequence[Sequence[str]] = ENGINE_CODE_PAIRS,
 ) -> Grid:
     """The canonical engine-sweep cell enumeration.
 
     ``policies=None`` resolves to every registered eviction policy, so
     a sharded worker and a single-process sweep agree on the grid
     without passing the policy list around.
+
+    ``code_pairs`` is the mixed-code stack axis: each (compute code,
+    memory code) pair extends the stack axis after the pure codes, one
+    stack configuration per remaining axis combination.  Mixed cells
+    carry an extra ``memory_code_key`` parameter; pure cells keep the
+    exact parameter set (and so the exact content hashes) of the
+    pre-mixed-stack grid — cell identity is stable, though records
+    stored under the pre-mixed :class:`EngineRow` schema fail
+    reconstruction and are recomputed rather than misread.
     """
     if policies is None:
         from ..sim.policies import available_policies
 
         policies = available_policies()
+    stacks = [(code_key, None) for code_key in code_keys]
+    stacks.extend(_normalize_code_pairs(code_pairs))
     cells = tuple(
         Cell.make(
             "engine_cell",
@@ -392,10 +581,14 @@ def engine_grid(
             parallel_transfers=par,
             compute_qubits=compute_qubits,
             cache_factor=cache_factor,
+            **(
+                {} if memory_code_key is None
+                else {"memory_code_key": memory_code_key}
+            ),
         )
         for workload in workloads
         for n_bits in sizes
-        for code_key in code_keys
+        for code_key, memory_code_key in stacks
         for depth in depths
         for policy in policies
         for prefetch in prefetches
@@ -414,6 +607,7 @@ def engine_sweep(
     transfer_options: Sequence[int] = ENGINE_TRANSFER_OPTIONS,
     compute_qubits: int = ENGINE_COMPUTE_QUBITS,
     cache_factor: float = ENGINE_CACHE_FACTOR,
+    code_pairs: Sequence[Sequence[str]] = ENGINE_CODE_PAIRS,
     *,
     workers: Optional[int] = None,
     cache=None,
@@ -424,17 +618,21 @@ def engine_sweep(
     ``policies=None`` takes every registered eviction policy;
     ``prefetches`` is the sweep's fourth axis (pass
     ``repro.sim.prefetch.available_prefetchers()`` for every registered
-    prefetcher).  ``workers=N`` fans the independent cells out over a
-    process pool; ``cache`` memoizes the whole sweep (see
-    :func:`repro.perf.memo.resolve_cache` for accepted values); a
-    ``store`` (path or :class:`repro.perf.store.ResultStore`) persists
-    and reads through per-cell records, which is how sharded workers
+    prefetcher); ``code_pairs`` the mixed-code stack axis (each
+    (compute code, memory code) pair simulates that compute code over
+    that memory code — see :func:`engine_grid`).  ``workers=N`` fans
+    the independent cells out over a process pool; ``cache`` memoizes
+    the whole sweep (see :func:`repro.perf.memo.resolve_cache` for
+    accepted values); a ``store`` (path or
+    :class:`repro.perf.store.ResultStore`) persists and reads through
+    per-cell records, which is how sharded workers
     (``python -m repro.sweep``) and this function share work.
     """
     if policies is None:
         from ..sim.policies import available_policies
 
         policies = available_policies()
+    code_pairs = _normalize_code_pairs(code_pairs)
     memo = resolve_cache(cache)
     key = stable_key(
         "engine_sweep", workloads=list(workloads), sizes=list(sizes),
@@ -442,10 +640,11 @@ def engine_sweep(
         policies=list(policies), prefetches=list(prefetches),
         transfer_options=list(transfer_options),
         compute_qubits=compute_qubits, cache_factor=cache_factor,
+        code_pairs=[list(pair) for pair in code_pairs],
     )
     grid = engine_grid(
         workloads, sizes, code_keys, depths, policies, prefetches,
-        transfer_options, compute_qubits, cache_factor,
+        transfer_options, compute_qubits, cache_factor, code_pairs,
     )
     if memo is not None:
         hit = memo.get(key)

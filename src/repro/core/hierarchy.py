@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Optional
 
+from ..ecc.concatenated import by_key
 from ..sim.hierarchy_sim import HierarchyRunResult, simulate_l1_run
-from ..sim.levels import HierarchyStack, two_level_stack
+from ..sim.levels import HierarchyStack, mixed_stack, two_level_stack
 from ..sim.policies import validate_policy
 from ..sim.prefetch import validate_prefetcher
 from .cqla import CqlaDesign
@@ -73,6 +75,13 @@ class MemoryHierarchy:
     :mod:`repro.sim.prefetch` prefetcher; anything but ``"none"``
     simulates on the split-transaction transfer model with exact
     prefetching down the static fetch order.
+
+    ``l1_code_key`` optionally encodes the level-1 compute+cache region
+    in a different code family than the design's memory code (``None``
+    keeps the paper's same-code hierarchy): the stack, the floorplan's
+    transfer ports and the simulated run then all route the cross-code
+    boundary through the Table 3 off-diagonal latency model.  The
+    fidelity budget stays governed by the design's (memory/L2) code.
     """
 
     design: CqlaDesign
@@ -80,15 +89,28 @@ class MemoryHierarchy:
     policy: HierarchyPolicy = DEFAULT_POLICY
     eviction_policy: str = "lru"
     prefetch: str = "none"
+    l1_code_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallel_transfers < 1:
             raise ValueError("need at least one parallel transfer")
         validate_policy(self.eviction_policy)
         validate_prefetcher(self.prefetch)
+        if self.l1_code_key is not None:
+            by_key(self.l1_code_key)  # fail here, not deep inside stack()
+        if self.l1_code_key == self.design.code_key:
+            # Normalize: a same-code hierarchy compares equal whether
+            # the level-1 code was spelled out or not.
+            object.__setattr__(self, "l1_code_key", None)
 
     def stack(self) -> HierarchyStack:
         """The two-level stack this hierarchy simulates on."""
+        if self.l1_code_key is not None:
+            return mixed_stack(
+                self.l1_code_key,
+                self.design.code_key,
+                parallel_transfers=self.parallel_transfers,
+            )
         return two_level_stack(
             self.design.code_key, parallel_transfers=self.parallel_transfers
         )
@@ -102,6 +124,7 @@ class MemoryHierarchy:
             parallel_transfers=self.parallel_transfers,
             eviction_policy=self.eviction_policy,
             prefetch=self.prefetch,
+            l1_code_key=self.l1_code_key,
         )
 
     def l1_speedup(self) -> float:
@@ -143,6 +166,7 @@ class MemoryHierarchy:
             l2_blocks=self.design.n_blocks,
             l1_blocks=9,  # one superblock-granule L1 region (81 qubits)
             parallel_transfers=self.parallel_transfers,
+            l1_code_key=self.l1_code_key,
         )
         return self.design.baseline.area_mm2() / plan.area_mm2()
 

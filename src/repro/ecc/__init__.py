@@ -1,4 +1,16 @@
-"""Error correction: Pauli algebra, codes, concatenation and transfer."""
+"""Error correction: Pauli algebra, codes, concatenation and transfer.
+
+This package owns the quantum substrate's algebra and costs: the
+Pauli/stabilizer/Clifford machinery and tableau simulation, the Steane
+[[7,1,3]] and Bacon-Shor [[9,1,3]] codes with their EC schedules and
+Monte Carlo decoders, concatenation metrics (Table 2) via
+:class:`ConcatenatedCode`, and the code-teleportation transfer model
+of Table 3 (:mod:`repro.ecc.transfer`) — including cross-code
+:class:`TransferNetwork` endpoints, which price a transfer from both
+codes' EC periods and teleport-channel requirements.  Everything
+above (stacks, floorplans, sweeps) derives its times and areas from
+here.
+"""
 
 from .bacon_shor import bacon_shor_code
 from .clifford import CliffordGate, cnot, conjugate, h, s, sdg, x, y, z

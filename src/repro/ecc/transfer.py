@@ -23,7 +23,7 @@ EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .concatenated import ConcatenatedCode, by_key
 
@@ -95,44 +95,84 @@ def transfer_matrix() -> Dict[Tuple[str, str], float]:
 
 @dataclass(frozen=True)
 class TransferNetwork:
-    """A memory<->cache transfer network for one code's hierarchy.
+    """A memory<->cache transfer network between two encoding points.
+
+    ``code_key`` is the cache-side (faster, lower-level) encoding;
+    ``memory_code_key`` the memory-side encoding, ``None`` meaning the
+    same code family on both sides — the paper's Table 5 configuration.
+    A cross-code network (e.g. Steane memory feeding a Bacon-Shor
+    compute level) prices both directions from *both* endpoints' EC
+    periods through :func:`transfer_time_s`, reproducing the
+    off-diagonal Table 3 cells.
 
     ``parallel_transfers`` is the paper's "Par Xfer" parameter: how many
     logical qubits can be in flight between encoding levels at once.
-    The effective concurrency is reduced by the code's per-transfer
-    channel requirement (three channels for Bacon-Shor, one for Steane).
+    The effective concurrency is reduced by the per-transfer channel
+    requirement (three channels for Bacon-Shor, one for Steane); a
+    cross-code transfer terminates in both encodings, so it occupies
+    the wider of the two requirements.
     """
 
     code_key: str
     memory_level: int = 2
     cache_level: int = 1
     parallel_transfers: int = 10
+    memory_code_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallel_transfers < 1:
             raise ValueError("need at least one parallel transfer")
+        if self.memory_code_key is not None:
+            by_key(self.memory_code_key)  # validates the key
+            if self.memory_code_key == self.code_key:
+                # Normalize: a same-code network compares (and hashes)
+                # equal whether the memory code was spelled out or not.
+                object.__setattr__(self, "memory_code_key", None)
+
+    @property
+    def cache_point(self) -> CodePoint:
+        """The cache-side (destination of a demotion) encoding point."""
+        return CodePoint(self.code_key, self.cache_level)
+
+    @property
+    def memory_point(self) -> CodePoint:
+        """The memory-side (source of a demotion) encoding point."""
+        return CodePoint(self.memory_code_key or self.code_key,
+                         self.memory_level)
+
+    @property
+    def is_cross_code(self) -> bool:
+        """Does this network bridge two different code families?"""
+        return self.memory_code_key is not None
 
     @property
     def demote_time_s(self) -> float:
-        """Memory -> cache (level 2 -> level 1) transfer latency."""
-        return transfer_time_s(
-            CodePoint(self.code_key, self.memory_level),
-            CodePoint(self.code_key, self.cache_level),
-        )
+        """Memory -> cache (e.g. level 2 -> level 1) transfer latency."""
+        return transfer_time_s(self.memory_point, self.cache_point)
 
     @property
     def promote_time_s(self) -> float:
-        """Cache -> memory (level 1 -> level 2) transfer latency."""
-        return transfer_time_s(
-            CodePoint(self.code_key, self.cache_level),
-            CodePoint(self.code_key, self.memory_level),
-        )
+        """Cache -> memory (e.g. level 1 -> level 2) transfer latency."""
+        return transfer_time_s(self.cache_point, self.memory_point)
+
+    @property
+    def channels_per_transfer(self) -> int:
+        """Teleport channels one transfer occupies on this network.
+
+        The correlated ancilla pair of a code teleportation spans both
+        endpoint encodings, so a cross-code transfer needs the wider of
+        the two codes' channel requirements.
+        """
+        cache_channels = by_key(self.code_key).spec.teleport_channels
+        if self.memory_code_key is None:
+            return cache_channels
+        memory_channels = by_key(self.memory_code_key).spec.teleport_channels
+        return max(cache_channels, memory_channels)
 
     @property
     def effective_concurrency(self) -> float:
         """Concurrent transfers after per-transfer channel requirements."""
-        channels = by_key(self.code_key).spec.teleport_channels
-        return max(1.0, self.parallel_transfers / channels)
+        return max(1.0, self.parallel_transfers / self.channels_per_transfer)
 
     def batch_demote_time_s(self, n_qubits: int) -> float:
         """Time to move ``n_qubits`` from memory into the cache."""

@@ -1,4 +1,14 @@
-"""Ion-trap physical substrate: parameters, layout and micro-execution."""
+"""Ion-trap physical substrate: parameters, layout and micro-execution.
+
+This package owns the bottom of the stack: the Table 1 operation
+times/failure rates (:mod:`repro.physical.params`, now and projected),
+trapping-region grid geometry and routing
+(:mod:`repro.physical.layout`), the cycle-level
+:class:`TrapMachine` micro-executor (:mod:`repro.physical.machine`)
+and classical-control budgets (:mod:`repro.physical.control`).  Every
+EC period, gate time and area in the layers above bottoms out in
+these numbers.
+"""
 
 from .control import (
     ControlBudget,

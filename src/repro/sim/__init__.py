@@ -1,4 +1,29 @@
-"""Simulators: block scheduling, caching, hierarchy timing, traffic."""
+"""Simulators: the hierarchy engine, scheduling, caching, traffic.
+
+This package owns every timing simulation between a logical circuit
+and a makespan:
+
+* :mod:`repro.sim.levels` — the N-level memory-hierarchy engine:
+  :class:`HierarchyStack`\\ s of per-level codes (pure via
+  :func:`standard_stack`, mixed via :func:`mixed_stack`), exclusive
+  residency, cascaded write-backs, and
+  :func:`simulate_hierarchy_run` over any registered workload/policy;
+* :mod:`repro.sim.events` — the discrete-event kernel and
+  :class:`PortServer` transfer ports, speaking both time-model
+  dialects (greedy reservations, bit-identical to the retained
+  reference loops, and split transactions that pipeline hops);
+* :mod:`repro.sim.policies` / :mod:`repro.sim.prefetch` — the
+  eviction-policy and exact-prefetcher registries;
+* :mod:`repro.sim.cache` — the two-level optimized-fetch cache
+  simulator of Figure 7 (the fetch scheduler every engine run reuses);
+* :mod:`repro.sim.hierarchy_sim` — the legacy Table 5 surface
+  (:func:`simulate_l1_run`), a thin wrapper over the engine;
+* :mod:`repro.sim.scheduler` / :mod:`repro.sim.comm` — block-level
+  list scheduling (Figure 2) and communication accounting (Figure 8).
+
+The public surface is re-exported below; ``docs/architecture.md``
+explains how the pieces compose.
+"""
 
 from .cache import (
     CacheStats,
@@ -36,6 +61,7 @@ from .levels import (
     HierarchyStack,
     LevelStat,
     MemoryLevel,
+    mixed_stack,
     simulate_hierarchy_run,
     simulate_hierarchy_run_audited,
     simulate_hierarchy_run_reference,
@@ -101,6 +127,7 @@ __all__ = [
     "list_schedule",
     "make_policy",
     "make_prefetcher",
+    "mixed_stack",
     "modexp_breakdown",
     "parallelism_profiles",
     "qft_breakdown",

@@ -28,6 +28,7 @@ from .cache import LruCache, simulate_optimized
 from .levels import (
     DEFAULT_COMPUTE_QUBITS,
     l1_capacity,
+    mixed_stack,
     simulate_hierarchy_run,
     two_level_stack,
 )
@@ -75,9 +76,12 @@ def _validate_l1_args(
     circuit: Optional[Circuit],
     eviction_policy: str = "lru",
     prefetch: str = "none",
+    l1_code_key: Optional[str] = None,
 ) -> None:
     """Boundary validation: fail fast with a clear message instead of
     deep inside the event loop."""
+    if l1_code_key is not None:
+        by_key(l1_code_key)  # validates the key before any memo lookup
     if parallel_transfers < 1:
         raise ValueError(
             f"parallel_transfers must be at least 1, got {parallel_transfers}"
@@ -112,14 +116,20 @@ def simulate_l1_run(
     cache=None,
     eviction_policy: str = "lru",
     prefetch: str = "none",
+    l1_code_key: Optional[str] = None,
 ) -> HierarchyRunResult:
     """Simulate one adder at level 1 behind the transfer network.
 
     The resident set spans the compute region plus the cache
     (``(1 + cache_factor) * compute_qubits`` logical qubits).  Transfer
-    ports are modeled as servers: a miss occupies a port for the
-    demotion (memory -> cache) and the paired promotion of the evicted
-    qubit; the instruction waits for its operands' arrivals, while
+    ports are modeled as servers of the event kernel
+    (:mod:`repro.sim.events`); with the default ``prefetch="none"``
+    they speak the greedy-reservation dialect — a miss occupies a port
+    for the demotion (memory -> cache) and the paired promotion of the
+    evicted qubit, bit-identical to the retained pre-engine simulator —
+    while any real prefetcher switches the run to the split-transaction
+    dialect, where a port is busy only while a transfer is in flight.
+    Either way the instruction waits for its operands' arrivals, and
     computation on already-resident operands continues to overlap.
 
     ``eviction_policy`` selects the level-1 replacement policy from the
@@ -130,6 +140,14 @@ def simulate_l1_run(
     split-transaction transfer model and promotes upcoming operands of
     the static fetch order ahead of demand.
 
+    ``l1_code_key`` optionally encodes the level-1 compute+cache region
+    in a different code family than the level-2 memory (``None``, the
+    default, is the paper's same-code configuration): the run then
+    simulates on a mixed-code two-level stack whose transfer network is
+    priced from both codes (the off-diagonal Table 3 cells), while
+    ``code_key`` remains the memory-side code and the level-2 serial
+    baseline.
+
     Runs with the default adder circuit are memoized through
     :mod:`repro.perf.memo` (keyed on every parameter that affects the
     result); pass ``cache=False`` to force a fresh simulation, or an
@@ -139,20 +157,27 @@ def simulate_l1_run(
     """
     _validate_l1_args(
         parallel_transfers, compute_qubits, cache_factor, circuit,
-        eviction_policy, prefetch,
+        eviction_policy, prefetch, l1_code_key,
     )
+    if l1_code_key == code_key:
+        l1_code_key = None
     if circuit is not None:
         return _simulate_l1_run_uncached(
             code_key, n_bits, parallel_transfers, compute_qubits,
-            cache_factor, circuit, eviction_policy, prefetch,
+            cache_factor, circuit, eviction_policy, prefetch, l1_code_key,
         )
     memo = resolve_cache(cache)
-    key = stable_key(
-        "simulate_l1_run", code_key=code_key, n_bits=n_bits,
+    # Same-code runs keep the historical key (no l1_code_key entry), so
+    # persisted caches written before the mixed-code axis stay warm.
+    key_kwargs = dict(
+        code_key=code_key, n_bits=n_bits,
         parallel_transfers=parallel_transfers,
         compute_qubits=compute_qubits, cache_factor=cache_factor,
         eviction_policy=eviction_policy, prefetch=prefetch,
     )
+    if l1_code_key is not None:
+        key_kwargs["l1_code_key"] = l1_code_key
+    key = stable_key("simulate_l1_run", **key_kwargs)
     if memo is not None:
         hit = memo.get(key)
         if hit is not None:
@@ -162,7 +187,7 @@ def simulate_l1_run(
                 pass  # malformed persisted entry: fall through, recompute
     result = _simulate_l1_run_uncached(
         code_key, n_bits, parallel_transfers, compute_qubits,
-        cache_factor, None, eviction_policy, prefetch,
+        cache_factor, None, eviction_policy, prefetch, l1_code_key,
     )
     if memo is not None:
         memo.put(key, asdict(result))
@@ -178,16 +203,25 @@ def _simulate_l1_run_uncached(
     circuit: Optional[Circuit],
     eviction_policy: str = "lru",
     prefetch: str = "none",
+    l1_code_key: Optional[str] = None,
 ) -> HierarchyRunResult:
     """Engine-backed two-level run mapped onto the legacy result."""
     if circuit is None:
         circuit = _adder_circuit(n_bits, False)
-    stack = two_level_stack(
-        code_key,
-        compute_qubits=compute_qubits,
-        cache_factor=cache_factor,
-        parallel_transfers=parallel_transfers,
-    )
+    if l1_code_key is not None:
+        stack = mixed_stack(
+            l1_code_key, code_key,
+            compute_qubits=compute_qubits,
+            cache_factor=cache_factor,
+            parallel_transfers=parallel_transfers,
+        )
+    else:
+        stack = two_level_stack(
+            code_key,
+            compute_qubits=compute_qubits,
+            cache_factor=cache_factor,
+            parallel_transfers=parallel_transfers,
+        )
     run = simulate_hierarchy_run(
         stack, circuit, policy=eviction_policy, prefetch=prefetch,
     )

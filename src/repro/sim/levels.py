@@ -7,7 +7,13 @@ of N >= 2 :class:`MemoryLevel`\\ s — level 0 is the compute level, the
 last level the unbounded backing store — connected by the Table 3
 :class:`~repro.ecc.transfer.TransferNetwork` between each adjacent
 pair, driven by any :class:`~repro.circuits.circuit.Circuit` under any
-registered eviction policy (:mod:`repro.sim.policies`).
+registered eviction policy (:mod:`repro.sim.policies`).  Each level
+carries its own code family: a boundary between two different codes is
+priced from both endpoints' EC periods and teleport-channel
+requirements (the off-diagonal Table 3 cells), so load/store-style
+organizations like a Bacon-Shor compute level over Steane memory
+(:func:`mixed_stack`) simulate on the same engine as the paper's pure
+stacks.
 
 The hierarchy is *exclusive*: logical qubits cannot be copied, so each
 lives at exactly one level.  A gate operand found below level 0 is
@@ -138,12 +144,6 @@ class HierarchyStack:
                 "the last level is the backing store and must be unbounded "
                 "(capacity=None)"
             )
-        keys = {level.code_key for level in levels}
-        if len(keys) != 1:
-            raise ValueError(
-                "mixed-code stacks are not supported yet (multi-backend "
-                "codes are a ROADMAP open item)"
-            )
         pt = self.parallel_transfers
         if isinstance(pt, int):
             pt = (pt,) * (len(levels) - 1)
@@ -159,15 +159,25 @@ class HierarchyStack:
         for i, count in enumerate(pt):
             if count < 1:
                 raise ValueError("need at least one parallel transfer")
-            channels = levels[i].channels_per_transfer
+            lower, upper = levels[i], levels[i + 1]
+            # A cross-code boundary's transfer terminates in both
+            # encodings, so it needs the wider channel requirement
+            # (matches TransferNetwork.channels_per_transfer).
+            channels = max(
+                lower.channels_per_transfer, upper.channels_per_transfer
+            )
             if count < channels:
+                boundary = (
+                    f"{upper.code_key} {upper.name} to "
+                    f"{lower.code_key} {lower.name}"
+                )
                 raise ValueError(
-                    f"network {i} (joining {levels[i + 1].name} to "
-                    f"{levels[i].name}) has parallel_transfers={count} but "
-                    f"one {levels[i].code_key} transfer occupies {channels} "
-                    "channels — the network cannot fit even one transfer, "
-                    "and the port model would silently over-provision it "
-                    "to a single lane"
+                    f"network {i} (joining {boundary}) has "
+                    f"parallel_transfers={count} but one transfer across "
+                    f"this boundary occupies {channels} channels — the "
+                    "network cannot fit even one transfer, and the port "
+                    "model would silently over-provision it to a single "
+                    "lane"
                 )
         object.__setattr__(self, "parallel_transfers", pt)
 
@@ -177,16 +187,34 @@ class HierarchyStack:
 
     @property
     def code_key(self) -> str:
+        """The compute-level code family (the whole stack's, if pure)."""
         return self.levels[0].code_key
 
+    @property
+    def code_keys(self) -> Tuple[str, ...]:
+        """Each level's code family, top (compute) to bottom (store)."""
+        return tuple(level.code_key for level in self.levels)
+
+    @property
+    def is_mixed(self) -> bool:
+        """Does any boundary of this stack bridge two code families?"""
+        return len(set(self.code_keys)) > 1
+
     def network(self, index: int) -> TransferNetwork:
-        """The transfer network joining level ``index+1`` to ``index``."""
+        """The transfer network joining level ``index+1`` to ``index``.
+
+        Both endpoints are routed through the builder: the cache side
+        is the lower level's (code, code level), the memory side the
+        upper level's, so a cross-code boundary prices its transfers
+        from both codes' EC periods (the off-diagonal Table 3 cells).
+        """
         lower, upper = self.levels[index], self.levels[index + 1]
         return TransferNetwork(
             code_key=lower.code_key,
             memory_level=upper.code_level,
             cache_level=lower.code_level,
             parallel_transfers=self.parallel_transfers[index],
+            memory_code_key=upper.code_key,
         )
 
     def networks(self) -> Tuple[TransferNetwork, ...]:
@@ -205,14 +233,31 @@ def two_level_stack(
     parallel_transfers: Union[int, Sequence[int]] = 10,
 ) -> HierarchyStack:
     """The paper's design point: L1 compute+cache over L2 memory."""
-    capacity = l1_capacity(compute_qubits, cache_factor)
-    return HierarchyStack(
-        levels=(
-            MemoryLevel("L1", code_key, 1, capacity),
-            MemoryLevel("memory", code_key, 2, None),
-        ),
-        parallel_transfers=parallel_transfers,
+    return _leveled_stack(
+        (code_key, code_key), compute_qubits, cache_factor,
+        parallel_transfers,
     )
+
+
+def _leveled_stack(
+    code_keys: Sequence[str],
+    compute_qubits: int,
+    cache_factor: float,
+    parallel_transfers: Union[int, Sequence[int]],
+) -> HierarchyStack:
+    """The shared standard geometry over one code per level: code level
+    ``i+1`` at stack level ``i``, capacities doubling below the compute
+    level, the deepest level the unbounded store."""
+    depth = len(code_keys)
+    if depth < 2:
+        raise ValueError("a hierarchy needs at least two levels")
+    base = l1_capacity(compute_qubits, cache_factor)
+    levels: List[MemoryLevel] = [
+        MemoryLevel(f"L{i + 1}", code_keys[i], i + 1, base * (2 ** i))
+        for i in range(depth - 1)
+    ]
+    levels.append(MemoryLevel("memory", code_keys[-1], depth, None))
+    return HierarchyStack(tuple(levels), parallel_transfers)
 
 
 def standard_stack(
@@ -230,18 +275,47 @@ def standard_stack(
     """
     if depth < 2:
         raise ValueError("a hierarchy needs at least two levels")
-    base = l1_capacity(compute_qubits, cache_factor)
-    levels: List[MemoryLevel] = [
-        MemoryLevel(f"L{i + 1}", code_key, i + 1, base * (2 ** i))
-        for i in range(depth - 1)
-    ]
-    levels.append(MemoryLevel("memory", code_key, depth, None))
-    return HierarchyStack(tuple(levels), parallel_transfers)
+    return _leveled_stack(
+        (code_key,) * depth, compute_qubits, cache_factor,
+        parallel_transfers,
+    )
 
 
 def three_level_stack(code_key: str, **kwargs) -> HierarchyStack:
     """Convenience: the default depth-3 organization."""
     return standard_stack(code_key, 3, **kwargs)
+
+
+def mixed_stack(
+    compute_code_key: str,
+    memory_code_key: str,
+    depth: int = 2,
+    compute_qubits: int = DEFAULT_COMPUTE_QUBITS,
+    cache_factor: float = DEFAULT_CACHE_FACTOR,
+    parallel_transfers: Union[int, Sequence[int]] = 10,
+) -> HierarchyStack:
+    """A mixed-code stack: one code computes, another code stores.
+
+    Level 0 (the compute level plus its cache capacity) is encoded in
+    ``compute_code_key``; every level below it — intermediate victim
+    caches and the unbounded backing store — in ``memory_code_key``.
+    Geometry matches :func:`standard_stack`: code level ``i+1`` at
+    stack level ``i``, capacities doubling below the compute level.
+
+    This is the load/store-style organization of e.g. a Bacon-Shor
+    compute region over Steane memory: the compute-memory boundary's
+    transfers are priced from *both* codes' teleport channels and EC
+    periods (the off-diagonal Table 3 cells).  With
+    ``compute_code_key == memory_code_key`` the result is exactly
+    :func:`standard_stack` (and ``depth=2``, :func:`two_level_stack`) —
+    both builders share one geometry constructor, so they cannot drift.
+    """
+    if depth < 2:
+        raise ValueError("a hierarchy needs at least two levels")
+    return _leveled_stack(
+        (compute_code_key,) + (memory_code_key,) * (depth - 1),
+        compute_qubits, cache_factor, parallel_transfers,
+    )
 
 
 # ----------------------------------------------------------------------

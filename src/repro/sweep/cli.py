@@ -35,7 +35,7 @@ from .runner import MissingCells, compute_grid, kernel_registry, rows_from_store
 
 
 #: Engine-only grid options (dest names); passing one of these with a
-#: Table 4/5 kernel is an error, not a silent ignore.
+#: Table 3/4/5 kernel is an error, not a silent ignore.
 _ENGINE_ONLY = (
     "workloads",
     "depths",
@@ -43,7 +43,36 @@ _ENGINE_ONLY = (
     "prefetches",
     "compute_qubits",
     "cache_factor",
+    "code_pairs",
 )
+
+#: Options the Table 3 (transfer_cell) grid does not take either.
+_TABLE45_ONLY = ("sizes", "transfers")
+
+
+def _parse_code_pair(spec: str):
+    """One ``compute:memory`` mixed-stack axis entry, fully validated
+    (unknown codes and same-code pairs fail at parse time with a clean
+    usage error, not mid-shard inside a worker)."""
+    from ..ecc.concatenated import by_key
+
+    parts = spec.split(":")
+    if len(parts) != 2 or not all(parts):
+        raise argparse.ArgumentTypeError(
+            f"code pair {spec!r} must be COMPUTE:MEMORY, "
+            "e.g. bacon_shor:steane"
+        )
+    try:
+        for key in parts:
+            by_key(key)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"code pair {spec!r}: {exc}")
+    if parts[0] == parts[1]:
+        raise argparse.ArgumentTypeError(
+            f"code pair {spec!r} is not mixed; pure-code stacks belong "
+            "on --codes"
+        )
+    return tuple(parts)
 
 
 def _add_grid_options(parser: argparse.ArgumentParser) -> None:
@@ -52,10 +81,16 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
     )
     grid.add_argument(
         "--kernel",
-        choices=("engine_cell", "specialization_cell", "hierarchy_cell"),
+        choices=(
+            "engine_cell",
+            "specialization_cell",
+            "hierarchy_cell",
+            "transfer_cell",
+        ),
         default="engine_cell",
         help="which sweep grid to shard (default: the engine design space; "
-        "specialization_cell = Table 4, hierarchy_cell = Table 5)",
+        "specialization_cell = Table 4, hierarchy_cell = Table 5, "
+        "transfer_cell = the Table 3 transfer matrix)",
     )
     grid.add_argument("--workloads", nargs="+", default=None, metavar="NAME")
     grid.add_argument("--sizes", nargs="+", type=int, default=None, metavar="N")
@@ -72,6 +107,15 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
     grid.add_argument("--transfers", nargs="+", type=int, default=None, metavar="P")
     grid.add_argument("--compute-qubits", type=int, default=None, metavar="Q")
     grid.add_argument("--cache-factor", type=float, default=None, metavar="F")
+    grid.add_argument(
+        "--code-pairs",
+        nargs="+",
+        type=_parse_code_pair,
+        default=None,
+        metavar="COMPUTE:MEMORY",
+        help="mixed-code stack axis of the engine grid, e.g. "
+        "bacon_shor:steane (compute code over memory code)",
+    )
 
 
 def _picked(args: argparse.Namespace, **renames: str) -> dict:
@@ -101,6 +145,7 @@ def _grid_from_args(args: argparse.Namespace) -> Grid:
                 transfers="transfer_options",
                 compute_qubits="compute_qubits",
                 cache_factor="cache_factor",
+                code_pairs="code_pairs",
             )
         )
     stray = [
@@ -113,6 +158,18 @@ def _grid_from_args(args: argparse.Namespace) -> Grid:
             f"{args.kernel} grids do not take {', '.join(stray)} "
             f"(engine-grid options)"
         )
+    if args.kernel == "transfer_cell":
+        stray = [
+            "--" + dest.replace("_", "-")
+            for dest in _TABLE45_ONLY
+            if getattr(args, dest) is not None
+        ]
+        if stray:
+            raise SystemExit(
+                f"transfer_cell grids do not take {', '.join(stray)} "
+                f"(the Table 3 matrix has no size or transfer axis)"
+            )
+        return design_space.transfer_grid(**_picked(args, codes="code_keys"))
     if args.kernel == "specialization_cell":
         return design_space.specialization_grid(
             **_picked(args, sizes="sizes", codes="code_keys")

@@ -166,4 +166,5 @@ def kernel_registry() -> Dict[str, Tuple[Callable[[Dict[str, Any]], Any], Type]]
             design_space.SpecializationRow,
         ),
         "hierarchy_cell": (design_space.hierarchy_cell, design_space.HierarchyRow),
+        "transfer_cell": (design_space.transfer_cell, design_space.TransferRow),
     }

@@ -44,6 +44,7 @@ class TestOtherExamples:
         "design_space_exploration",
         "policy_comparison",
         "prefetch_comparison",
+        "mixed_code_stack",
     ])
     def test_importable_with_main(self, name):
         module = _load(name)
@@ -72,6 +73,21 @@ class TestPolicyComparisonExecution:
         for token in ("belady", "lru", "fifo", "score",
                       "draper_adder", "qft", "modexp_trace",
                       "3-level stack"):
+            assert token in out, token
+
+
+class TestMixedCodeStackExecution:
+    def test_small_run(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "mixed_code_stack.py"), "16"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        # The two pure stacks, the mixed stack, and the off-diagonal
+        # Table 3 endpoints all show up in the report.
+        for token in ("steane (pure)", "bacon_shor (pure)", "mixed",
+                      "7-L2", "9-L1", "demote", "makespan"):
             assert token in out, token
 
 

@@ -71,8 +71,12 @@ class TestHierarchyStack:
             HierarchyStack((cache, MemoryLevel("m", "steane", 2, 500)))
         with pytest.raises(ValueError, match="unbounded"):
             HierarchyStack((memory, memory))
-        with pytest.raises(ValueError, match="mixed-code"):
-            HierarchyStack((cache, MemoryLevel("m", "bacon_shor", 2, None)))
+        # Mixed-code stacks are supported since the multi-backend-codes
+        # change: the boundary prices from both codes (Table 3
+        # off-diagonals).  Construction must succeed.
+        mixed = HierarchyStack((cache, MemoryLevel("m", "bacon_shor", 2, None)))
+        assert mixed.is_mixed
+        assert mixed.code_keys == ("steane", "bacon_shor")
         with pytest.raises(ValueError, match="one entry per"):
             HierarchyStack((cache, memory), parallel_transfers=(10, 5, 2))
         with pytest.raises(ValueError, match="parallel transfer"):
