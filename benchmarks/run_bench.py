@@ -162,6 +162,46 @@ def _bench_sweep_store(loops: int = 3):
     return run
 
 
+def _bench_supervised_overhead(alternations: int = 3):
+    """The fault-free supervision tax on the sweep runner, as a ratio.
+
+    Runs the same small engine grid through ``compute_grid`` bare and
+    under the identity ``Supervision()`` in alternation (so clock
+    drift hits both arms equally) and returns ``supervised/raw - 1``
+    on the best-of times.  Unlike every other kernel this one measures
+    *itself* and returns a dimensionless fraction, signalled by the
+    ``_overhead`` name suffix: machine speed cancels out of a ratio,
+    so the baseline gate compares it with an absolute budget instead
+    of calibration scaling.
+    """
+    from repro.core.design_space import EngineRow, engine_cell, engine_grid
+    from repro.perf.supervise import Supervision
+    from repro.sweep.runner import compute_grid
+
+    grid = engine_grid(workloads=("draper_adder",), sizes=(256,),
+                       depths=(3,), prefetches=("none",))
+
+    def run():
+        # One warm pass builds the fetch-order / speedup caches both
+        # arms share, so the ratio times the runner, not the scheduler.
+        compute_grid(grid, engine_cell, EngineRow)
+        raw = supervised = None
+        for _ in range(alternations):
+            t0 = time.perf_counter()
+            compute_grid(grid, engine_cell, EngineRow)
+            elapsed = time.perf_counter() - t0
+            raw = elapsed if raw is None else min(raw, elapsed)
+            t0 = time.perf_counter()
+            compute_grid(grid, engine_cell, EngineRow,
+                         supervise=Supervision())
+            elapsed = time.perf_counter() - t0
+            supervised = (elapsed if supervised is None
+                          else min(supervised, elapsed))
+        return supervised / raw - 1.0
+
+    return run
+
+
 def _clear_memo_state() -> None:
     """Reset in-process caches so every kernel times the cold path."""
     try:
@@ -209,6 +249,7 @@ def kernel_set(quick: bool):
             "engine_3level_policies_512": _bench_engine(512),
             "prefetch_3level_next_k_512": _bench_prefetch(512),
             "sweep_store_roundtrip_x20": _bench_sweep_store(20),
+            "supervised_runner_overhead": _bench_supervised_overhead(),
         }
     return {
         "fetch_optimized_256": _bench_fetch(256),
@@ -220,21 +261,24 @@ def kernel_set(quick: bool):
         "engine_3level_policies_256": _bench_engine(256),
         "prefetch_3level_next_k_512": _bench_prefetch(512),
         "sweep_store_roundtrip_x20": _bench_sweep_store(20),
+        "supervised_runner_overhead": _bench_supervised_overhead(),
     }
 
 
 def time_kernels(quick: bool, repeats: int) -> dict:
     results: dict = {}
     for name, fn in kernel_set(quick).items():
+        ratio = name.endswith("_overhead")
         best = None
         for _ in range(repeats):
             _clear_memo_state()
             t0 = time.perf_counter()
-            fn()
-            elapsed = time.perf_counter() - t0
-            best = elapsed if best is None else min(best, elapsed)
+            value = fn()
+            if not ratio:
+                value = time.perf_counter() - t0
+            best = value if best is None else min(best, value)
         results[name] = best
-        print(f"  {name:28s} {best:9.4f} s")
+        print(f"  {name:28s} {best:9.4f} {'(ratio)' if ratio else 's'}")
     return results
 
 
@@ -283,6 +327,13 @@ def calibration_numpy_seconds() -> float:
 #: remains the binding constraint.
 BASELINE_SLACK_S = 0.01
 
+#: Absolute budget for ``*_overhead`` ratio kernels: the measured
+#: overhead fraction may exceed its baseline by at most this much.
+#: Machine speed cancels out of a ratio, so no calibration scaling and
+#: no relative tolerance apply — this keeps the fault-free supervision
+#: tax pinned under ~5 points regardless of the runner.
+OVERHEAD_SLACK = 0.05
+
 
 def check_baseline(
     kernels: dict,
@@ -301,7 +352,9 @@ def check_baseline(
     machines, so ``scale`` is the *most lenient* of the python and
     NumPy calibration ratios — a machine that is only faster at one of
     them must never shrink the other kind of kernel's limit into a
-    false regression.  A kernel new to this run is reported but not
+    false regression.  ``*_overhead`` kernels are dimensionless ratios
+    and get an absolute budget instead (``baseline + OVERHEAD_SLACK``,
+    no scaling, no slack).  A kernel new to this run is reported but not
     failed (it needs a baseline refresh, not a red build); a baseline
     kernel *missing* from the run counts as a failure — otherwise
     renaming or dropping a gated kernel would silently disable its
@@ -329,11 +382,18 @@ def check_baseline(
             print(f"  {name:28s} new kernel, no baseline — refresh the "
                   f"baseline JSON to track it")
             continue
-        limit = (base_kernels[name] * scale * (1.0 + tolerance)
-                 + BASELINE_SLACK_S)
+        if name.endswith("_overhead"):
+            # Dimensionless ratio: no machine scaling, no timer slack.
+            limit = base_kernels[name] + OVERHEAD_SLACK
+            unit = ""
+        else:
+            limit = (base_kernels[name] * scale * (1.0 + tolerance)
+                     + BASELINE_SLACK_S)
+            unit = " s"
         actual = kernels[name]
         verdict = "ok" if actual <= limit else "REGRESSION"
-        print(f"  {name:28s} {actual:9.4f} s (limit {limit:9.4f} s) {verdict}")
+        print(f"  {name:28s} {actual:9.4f}{unit} "
+              f"(limit {limit:9.4f}{unit}) {verdict}")
         if actual > limit:
             failures += 1
     return failures

@@ -8,7 +8,7 @@ alongside where they exist for direct comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.design_space import (
     EngineRow,
@@ -136,48 +136,70 @@ def table3_rows() -> List[TransferRow]:
     return transfer_sweep()
 
 
-def table3_from_store(store) -> List[TransferRow]:
+def table3_from_store(store, *, allow_missing: bool = False) -> List[TransferRow]:
     """Table 3 rows read straight from a sharded-sweep result store.
 
     ``store`` is a directory path or :class:`repro.perf.store.ResultStore`
     filled by ``python -m repro.sweep run --kernel transfer_cell``
     workers.  Nothing is computed: a store missing any of the 16 cells
-    raises :class:`repro.sweep.runner.MissingCells`.
+    raises :class:`repro.sweep.runner.MissingCells` — unless
+    ``allow_missing=True``, which returns ``None`` placeholders so the
+    renderer can degrade to ``—`` cells.
     """
     from ..core.design_space import transfer_grid
     from ..sweep.runner import rows_from_store
 
-    return rows_from_store(transfer_grid(), TransferRow, store)
+    return rows_from_store(
+        transfer_grid(), TransferRow, store, allow_missing=allow_missing
+    )
 
 
-def _render_table3(rows: List[TransferRow]) -> str:
-    """The measured matrix with the published value beside each cell."""
-    matrix = {(row.source, row.dest): row.transfer_s for row in rows}
-    points = sorted({row.source for row in rows})
-    points = [p for p in (x.label for x in standard_points()) if p in points]
+def _render_table3(rows: List[Optional[TransferRow]]) -> str:
+    """The measured matrix with the published value beside each cell.
+
+    ``None`` entries (quarantined/missing cells from an
+    ``allow_missing`` load) render as ``—`` against the full
+    :func:`~repro.ecc.transfer.standard_points` axes, with a footer
+    counting the holes — a degraded table is visibly degraded.
+    """
+    present = [row for row in rows if row is not None]
+    matrix = {(row.source, row.dest): row.transfer_s for row in present}
+    if len(present) < len(rows):
+        points = [p.label for p in standard_points()]
+    else:
+        seen = {row.source for row in present}
+        points = [p for p in (x.label for x in standard_points()) if p in seen]
     body = []
     for src in points:
         cells = [src]
         for dst in points:
+            value = matrix.get((src, dst))
+            if value is None:
+                cells.append("—")
+                continue
             paper = paper_values.TRANSFER_S.get((src, dst))
             paper_text = "?" if paper is None else f"{paper:g}"
-            cells.append(f"{matrix[(src, dst)]:.3g} ({paper_text})")
+            cells.append(f"{value:.3g} ({paper_text})")
         body.append(cells)
-    return format_table(
+    text = format_table(
         ["from \\ to"] + points,
         body,
         title="Table 3: transfer network latency, "
               "measured (paper) in seconds",
     )
+    holes = len(rows) - len(present)
+    if holes:
+        text += f"\n({holes} cell(s) missing/quarantined, rendered as —)"
+    return text
 
 
 def table3_text() -> str:
     return _render_table3(table3_rows())
 
 
-def table3_text_from_store(store) -> str:
+def table3_text_from_store(store, *, allow_missing: bool = False) -> str:
     """:func:`table3_text`, but rendered from stored records only."""
-    return _render_table3(table3_from_store(store))
+    return _render_table3(table3_from_store(store, allow_missing=allow_missing))
 
 
 # ----------------------------------------------------------------------
@@ -265,7 +287,9 @@ def engine_table(**kwargs) -> List[EngineRow]:
     return engine_sweep(**kwargs)
 
 
-def engine_table_from_store(store, **grid_kwargs) -> List[EngineRow]:
+def engine_table_from_store(
+    store, *, allow_missing: bool = False, **grid_kwargs
+) -> List[EngineRow]:
     """Engine-sweep rows read straight from a sharded-sweep result store.
 
     ``store`` is a directory path or :class:`repro.perf.store.ResultStore`
@@ -274,26 +298,66 @@ def engine_table_from_store(store, **grid_kwargs) -> List[EngineRow]:
     :func:`repro.core.design_space.engine_grid`.  Nothing is computed:
     a store missing (or holding corrupt records for) any grid cell
     raises :class:`repro.sweep.runner.MissingCells`, so a table can
-    never silently render from a partial sweep.
+    never silently render from a partial sweep — unless
+    ``allow_missing=True``, which keeps ``None`` placeholders for the
+    renderer's ``—`` cells and failure footer.
     """
     from ..core.design_space import engine_grid
     from ..sweep.runner import rows_from_store
 
-    return rows_from_store(engine_grid(**grid_kwargs), EngineRow, store)
+    return rows_from_store(
+        engine_grid(**grid_kwargs), EngineRow, store, allow_missing=allow_missing
+    )
 
 
-def _render_engine_table(rows: List[EngineRow]) -> str:
+def _render_engine_table(
+    rows: List[Optional[EngineRow]], grid=None, store=None
+) -> str:
+    """The engine table; ``None`` rows degrade to ``—`` measured columns.
+
+    A ``None`` row's axis columns come from ``grid`` (the canonical
+    cell enumeration the rows were loaded against) so the reader still
+    sees *which* configuration is missing; ``store`` supplies the
+    quarantine reason for the footer when it holds a failure record.
+    """
     body = []
-    for row in rows:
-        code = row.code_key
-        if row.memory_code_key != row.code_key:
-            code = f"{row.code_key}/{row.memory_code_key}"
+    footer = []
+    for index, row in enumerate(rows):
+        if row is not None:
+            code = row.code_key
+            if row.memory_code_key != row.code_key:
+                code = f"{row.code_key}/{row.memory_code_key}"
+            body.append([
+                row.workload, row.n_bits, code, row.depth, row.policy,
+                row.prefetch, row.hit_rate, row.speedup,
+                row.transfer_bound_fraction, row.transfers, row.makespan_s,
+            ])
+            continue
+        params = grid.cells[index].as_dict() if grid is not None else {}
+        code = params.get("code_key", "?")
+        if params.get("memory_code_key", code) != code:
+            code = f"{code}/{params['memory_code_key']}"
         body.append([
-            row.workload, row.n_bits, code, row.depth, row.policy,
-            row.prefetch, row.hit_rate, row.speedup,
-            row.transfer_bound_fraction, row.transfers, row.makespan_s,
+            params.get("workload", "?"), params.get("n_bits", "?"), code,
+            params.get("depth", "?"), params.get("policy", "?"),
+            params.get("prefetch", "?"), "—", "—", "—", "—", "—",
         ])
-    return format_table(
+        if grid is not None and store is not None:
+            from ..perf.store import resolve_store
+
+            record = resolve_store(store).failure(grid.cells[index].key)
+            failure = (record or {}).get("failure", {})
+            footer.append(
+                f"  missing {grid.cells[index].key}: "
+                + (
+                    f"{failure.get('kind', '?')} "
+                    f"({failure.get('exception_type', '?')} after "
+                    f"{failure.get('attempts', '?')} attempt(s))"
+                    if record
+                    else "no record (never computed, or torn)"
+                )
+            )
+    text = format_table(
         ["workload", "bits", "code", "depth", "policy", "prefetch",
          "hit rate", "speedup", "xfer-bound", "transfers", "makespan"],
         body,
@@ -301,6 +365,12 @@ def _render_engine_table(rows: List[EngineRow]) -> str:
                "(depth x policy x workload x prefetch; "
                "code is compute[/memory] family)"),
     )
+    holes = sum(1 for row in rows if row is None)
+    if holes:
+        text += f"\n({holes} cell(s) missing/quarantined, rendered as —)"
+        if footer:
+            text += "\n" + "\n".join(footer)
+    return text
 
 
 def engine_table_text(**kwargs) -> str:
@@ -314,6 +384,19 @@ def engine_table_text(**kwargs) -> str:
     return _render_engine_table(engine_table(**kwargs))
 
 
-def engine_table_text_from_store(store, **grid_kwargs) -> str:
-    """:func:`engine_table_text`, but rendered from stored records only."""
-    return _render_engine_table(engine_table_from_store(store, **grid_kwargs))
+def engine_table_text_from_store(
+    store, *, allow_missing: bool = False, **grid_kwargs
+) -> str:
+    """:func:`engine_table_text`, but rendered from stored records only.
+
+    ``allow_missing=True`` renders a degraded table (``—`` measured
+    columns, a footer naming each hole and its quarantine reason)
+    instead of raising on an incomplete store.
+    """
+    from ..core.design_space import engine_grid
+
+    grid = engine_grid(**grid_kwargs)
+    from ..sweep.runner import rows_from_store
+
+    rows = rows_from_store(grid, EngineRow, store, allow_missing=allow_missing)
+    return _render_engine_table(rows, grid=grid, store=store)

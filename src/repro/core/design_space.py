@@ -123,6 +123,7 @@ def specialization_sweep(
     workers: Optional[int] = None,
     cache=None,
     store=None,
+    supervise=None,
 ) -> List[SpecializationRow]:
     """Evaluate every Table 4 cell.
 
@@ -130,7 +131,10 @@ def specialization_sweep(
     ``cache`` memoizes the whole sweep (see
     :func:`repro.perf.memo.resolve_cache` for accepted values); a
     ``store`` (path or :class:`repro.perf.store.ResultStore`) persists
-    and reads through per-cell records shared with sharded workers.
+    and reads through per-cell records shared with sharded workers;
+    ``supervise`` (a :class:`repro.perf.supervise.Supervision`) runs
+    under the fault-tolerant pool, quarantining terminally failing
+    cells as ``None`` rows (never memoized as a complete sweep).
     """
     memo = resolve_cache(cache)
     key = stable_key(
@@ -150,9 +154,10 @@ def specialization_sweep(
                 persist_rows(grid, rows, store)
                 return rows
     rows = compute_grid(
-        grid, specialization_cell, SpecializationRow, store=store, workers=workers
+        grid, specialization_cell, SpecializationRow,
+        store=store, workers=workers, supervise=supervise,
     )
-    if memo is not None:
+    if memo is not None and all(row is not None for row in rows):
         memo.put(key, [asdict(row) for row in rows])
     return rows
 
@@ -218,6 +223,7 @@ def hierarchy_sweep(
     workers: Optional[int] = None,
     cache=None,
     store=None,
+    supervise=None,
 ) -> List[HierarchyRow]:
     """Evaluate every Table 5 cell.
 
@@ -225,7 +231,9 @@ def hierarchy_sweep(
     ``cache`` memoizes the whole sweep (see
     :func:`repro.perf.memo.resolve_cache` for accepted values); a
     ``store`` (path or :class:`repro.perf.store.ResultStore`) persists
-    and reads through per-cell records shared with sharded workers.
+    and reads through per-cell records shared with sharded workers;
+    ``supervise`` runs under the fault-tolerant pool (see
+    :func:`specialization_sweep`).
     """
     memo = resolve_cache(cache)
     key = stable_key(
@@ -244,9 +252,10 @@ def hierarchy_sweep(
                 persist_rows(grid, rows, store)
                 return rows
     rows = compute_grid(
-        grid, hierarchy_cell, HierarchyRow, store=store, workers=workers
+        grid, hierarchy_cell, HierarchyRow,
+        store=store, workers=workers, supervise=supervise,
     )
-    if memo is not None:
+    if memo is not None and all(row is not None for row in rows):
         memo.put(key, [asdict(row) for row in rows])
     return rows
 
@@ -337,6 +346,7 @@ def transfer_sweep(
     workers: Optional[int] = None,
     cache=None,
     store=None,
+    supervise=None,
 ) -> List[TransferRow]:
     """Evaluate every Table 3 cell.
 
@@ -362,9 +372,10 @@ def transfer_sweep(
                 persist_rows(grid, rows, store)
                 return rows
     rows = compute_grid(
-        grid, transfer_cell, TransferRow, store=store, workers=workers
+        grid, transfer_cell, TransferRow,
+        store=store, workers=workers, supervise=supervise,
     )
-    if memo is not None:
+    if memo is not None and all(row is not None for row in rows):
         memo.put(key, [asdict(row) for row in rows])
     return rows
 
@@ -612,6 +623,7 @@ def engine_sweep(
     workers: Optional[int] = None,
     cache=None,
     store=None,
+    supervise=None,
 ) -> List[EngineRow]:
     """Evaluate the generalized engine over its design axes.
 
@@ -656,8 +668,11 @@ def engine_sweep(
             else:
                 persist_rows(grid, rows, store)
                 return rows
-    rows = compute_grid(grid, engine_cell, EngineRow, store=store, workers=workers)
-    if memo is not None:
+    rows = compute_grid(
+        grid, engine_cell, EngineRow,
+        store=store, workers=workers, supervise=supervise,
+    )
+    if memo is not None and all(row is not None for row in rows):
         memo.put(key, [asdict(row) for row in rows])
     return rows
 

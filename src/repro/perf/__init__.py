@@ -13,20 +13,49 @@ the generic accelerators they share:
 * :mod:`repro.perf.store` — a durable, content-addressed result store
   (atomic per-cell JSON records, ``flock``-guarded index) that sharded
   sweep workers on many hosts fill concurrently and ``merge`` reads
-  back; its on-disk layout is ``REPRO_CACHE_DIR``-compatible.
+  back; its on-disk layout is ``REPRO_CACHE_DIR``-compatible;
+* :mod:`repro.perf.supervise` — a fault-tolerant executor over the
+  pool: retry with deterministic backoff, per-cell wall-clock deadlines
+  (hung workers are reaped), ``BrokenProcessPool`` recovery, and
+  classified terminal failures for quarantine;
+* :mod:`repro.perf.chaos` — the deterministic fault-injection harness
+  that proves the supervision semantics (scripted raise/transient/
+  hang/exit/corrupt faults, reproducible across processes).
 
 All are policy-free: callers pass ``cache=`` / ``workers=`` / ``store=``
-knobs and get identical numeric results either way.
+/ ``supervise=`` knobs and get identical numeric results either way.
 """
 
+from .chaos import ChaosFault, ChaosPlan, ChaosTransientError, Fault
 from .memo import SweepCache, default_cache, resolve_cache, stable_key
 from .parallel import parallel_iter, parallel_map
 from .store import ResultStore, StoreStatus, atomic_write_text, resolve_store
+from .supervise import (
+    CellFailure,
+    CellOutcome,
+    CellTimeout,
+    RetryPolicy,
+    Supervision,
+    TooManyFailures,
+    WorkerCrash,
+    supervised_indexed,
+)
 
 __all__ = [
+    "CellFailure",
+    "CellOutcome",
+    "CellTimeout",
+    "ChaosFault",
+    "ChaosPlan",
+    "ChaosTransientError",
+    "Fault",
     "ResultStore",
+    "RetryPolicy",
     "StoreStatus",
+    "Supervision",
     "SweepCache",
+    "TooManyFailures",
+    "WorkerCrash",
     "atomic_write_text",
     "default_cache",
     "parallel_iter",
@@ -34,4 +63,5 @@ __all__ = [
     "resolve_cache",
     "resolve_store",
     "stable_key",
+    "supervised_indexed",
 ]

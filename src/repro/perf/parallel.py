@@ -76,12 +76,31 @@ def parallel_indexed(
 def _pool_indexed(
     fn: Callable[[T], R], cells: List[T], workers: int
 ) -> Iterator[Tuple[int, R]]:
-    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
     with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
         futures = {pool.submit(fn, cell): index for index, cell in enumerate(cells)}
-        for future in as_completed(futures):
-            yield futures[future], future.result()
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # Yield every finished result before surfacing a
+                # failure: a consumer persisting incrementally keeps
+                # all completed work, not just what happened to drain
+                # ahead of the first raising future.
+                failed = [f for f in done if f.exception() is not None]
+                for future in sorted(
+                    (f for f in done if f.exception() is None),
+                    key=futures.__getitem__,
+                ):
+                    yield futures[future], future.result()
+                if failed:
+                    raise min(failed, key=futures.__getitem__).exception()
+        finally:
+            # On failure or an abandoned iteration, queued cells must
+            # not start (the pool exit still waits out running ones).
+            for future in pending:
+                future.cancel()
 
 
 def parallel_map(

@@ -27,6 +27,12 @@ Design points:
   :meth:`ResultStore.rebuild_index` regenerates it from a directory
   scan (which is also how merged multi-shard artifact directories heal
   their conflicting indexes).
+* **Durable failure records.**  A supervised run that exhausts a
+  cell's retries writes a *failure* record under ``failures/<key>.json``
+  (exception type, attempts, traceback digest) instead of a result.
+  Failures never shadow results — ``status`` reports them as
+  failed-and-missing, ``resume`` recomputes them, and a success clears
+  them — so quarantine is visible without ever poisoning a merge.
 * **``REPRO_CACHE_DIR``-compatible layout.**  Records are
   ``<key>.json`` files whose top-level ``"value"`` field holds the
   payload — exactly the layout :class:`repro.perf.memo.SweepCache`
@@ -58,6 +64,11 @@ INDEX_NAME = "index.json"
 #: Sidecar lock file guarding index read-modify-write cycles.
 LOCK_NAME = ".index.lock"
 
+#: Subdirectory holding per-cell *failure* records (quarantined cells).
+#: Kept out of the record scan's glob so a failure can never be
+#: mistaken for a result.
+FAILURE_DIR = "failures"
+
 
 def atomic_write_text(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
@@ -77,6 +88,11 @@ def atomic_write_text(path: Path, text: str) -> None:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            # fsync before the rename: a power-loss-style kill after
+            # os.replace must never surface a renamed-but-truncated
+            # record (rename without data durability can).
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except OSError:
         try:
@@ -88,15 +104,26 @@ def atomic_write_text(path: Path, text: str) -> None:
 
 @dataclass(frozen=True)
 class StoreStatus:
-    """Completion summary of one key set against a store."""
+    """Completion summary of one key set against a store.
+
+    ``failed_keys`` is the subset of ``missing_keys`` with a durable
+    failure record — cells whose supervised computation exhausted its
+    retries and was quarantined.  A successful result always trumps a
+    stale failure record, so a key is never both done and failed.
+    """
 
     total: int
     done: int
     missing_keys: tuple
+    failed_keys: tuple = ()
 
     @property
     def missing(self) -> int:
         return self.total - self.done
+
+    @property
+    def failed(self) -> int:
+        return len(self.failed_keys)
 
     @property
     def complete(self) -> bool:
@@ -179,12 +206,76 @@ class ResultStore:
         return found
 
     def status(self, keys: Iterable[str]) -> StoreStatus:
-        """Done/missing split of ``keys`` against the stored records."""
+        """Done/missing/failed split of ``keys`` against the records."""
         wanted = list(keys)
         missing = tuple(key for key in wanted if not self.has(key))
+        failed = tuple(key for key in missing if self.failure(key) is not None)
         return StoreStatus(
-            total=len(wanted), done=len(wanted) - len(missing), missing_keys=missing
+            total=len(wanted),
+            done=len(wanted) - len(missing),
+            missing_keys=missing,
+            failed_keys=failed,
         )
+
+    # -- failure records -------------------------------------------------
+    def failure_path(self, key: str) -> Path:
+        return self.directory / FAILURE_DIR / f"{key}.json"
+
+    def put_failure(
+        self,
+        key: str,
+        failure: Dict[str, Any],
+        *,
+        kernel: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Persist one cell's terminal failure atomically.
+
+        ``failure`` is the classified-failure dict
+        (:meth:`repro.perf.supervise.CellFailure.as_record`: kind,
+        exception type, message, attempts, traceback digest).  Failure
+        records live under ``failures/`` — parallel to results, never
+        shadowing them — so ``status`` can report quarantined cells and
+        a later ``resume`` can still recompute them.
+        """
+        meta: Dict[str, Any] = {"store_version": STORE_VERSION}
+        if kernel is not None:
+            meta["kernel"] = kernel
+        if params is not None:
+            meta["params"] = params
+        record = {"failure": dict(failure), "meta": meta}
+        atomic_write_text(self.failure_path(key), json.dumps(record, sort_keys=True))
+        return record
+
+    def failure(self, key: str) -> Optional[Dict[str, Any]]:
+        """The failure record for ``key``, or None (corrupt = none)."""
+        try:
+            record = json.loads(self.failure_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or not isinstance(
+            record.get("failure"), dict
+        ):
+            return None
+        return record
+
+    def failure_keys(self) -> List[str]:
+        """Keys of every readable failure record."""
+        failure_dir = self.directory / FAILURE_DIR
+        if not failure_dir.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in failure_dir.glob("*.json")
+            if self.failure(path.stem) is not None
+        )
+
+    def clear_failure(self, key: str) -> None:
+        """Drop ``key``'s failure record (a later attempt succeeded)."""
+        try:
+            self.failure_path(key).unlink()
+        except OSError:
+            pass
 
     # -- index -----------------------------------------------------------
     @contextmanager

@@ -18,6 +18,15 @@ status probe, and the merge all agree on the canonical cell enumeration.
 ``merge --verify`` recomputes the whole grid single-process in-memory
 and asserts the reassembled rows are bit-identical — the CI sharding
 job uses it as its correctness gate.
+
+Fault tolerance: ``run``/``resume`` take ``--retries``, ``--cell-timeout``
+and ``--max-failures``; any of them switches execution to the supervised
+pool (:mod:`repro.perf.supervise`), which retries transient faults,
+reaps hung cells, rebuilds crashed workers, and *quarantines* cells
+that exhaust their attempts (durable failure record, shard still exits
+0).  ``status`` reports quarantined cells; ``merge --allow-missing``
+degrades gracefully, emitting the rows that exist plus a failure
+footer instead of refusing the whole table.
 """
 
 from __future__ import annotations
@@ -30,8 +39,15 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..perf.store import ResultStore
+from ..perf.supervise import RetryPolicy, Supervision, TooManyFailures
 from .grid import Grid, parse_shard_spec
-from .runner import MissingCells, compute_grid, kernel_registry, rows_from_store
+from .runner import (
+    MissingCells,
+    compute_grid,
+    kernel_registry,
+    missing_report,
+    rows_from_store,
+)
 
 
 #: Engine-only grid options (dest names); passing one of these with a
@@ -118,6 +134,63 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "fault tolerance (any of these enables the supervised pool)"
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per failing cell before quarantine (default 0)",
+    )
+    group.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock deadline; hung workers are reaped",
+    )
+    group.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort the run (exit 1) after more than N quarantined cells",
+    )
+
+
+def _supervision_from_args(args: argparse.Namespace) -> Optional[Supervision]:
+    """A :class:`Supervision` spec iff any fault-tolerance flag was given.
+
+    With none of them the plain runner is used, keeping the default CLI
+    path byte-for-byte the pre-supervision behaviour.
+    """
+    if not args.retries and args.cell_timeout is None and args.max_failures is None:
+        return None
+    return Supervision(
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        cell_timeout_s=args.cell_timeout,
+        max_failures=args.max_failures,
+        quarantine=True,
+    )
+
+
+def _report_quarantine(store: ResultStore, grid: Grid) -> int:
+    """Print quarantined cells of ``grid``; returns how many there are."""
+    failed = store.status(grid.keys()).failed_keys
+    for key in failed:
+        record = store.failure(key) or {}
+        failure = record.get("failure", {})
+        print(
+            f"  quarantined {key}: {failure.get('kind', '?')} "
+            f"({failure.get('exception_type', '?')} after "
+            f"{failure.get('attempts', '?')} attempt(s))"
+        )
+    return len(failed)
+
+
 def _picked(args: argparse.Namespace, **renames: str) -> dict:
     """CLI options that were explicitly set, renamed to grid kwargs."""
     return {
@@ -186,13 +259,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     before = store.status(shard.keys())
     fn, row_type = kernel_registry()[grid.kernel]
-    # compute_grid returning (rather than raising) means every cell of
-    # the shard now has a record — no second status scan needed.
-    compute_grid(shard, fn, row_type, store=store, workers=args.workers)
+    try:
+        compute_grid(
+            shard,
+            fn,
+            row_type,
+            store=store,
+            workers=args.workers,
+            supervise=_supervision_from_args(args),
+        )
+    except TooManyFailures as exc:
+        print(f"shard {index}/{count} aborted: {exc}", file=sys.stderr)
+        return 1
     print(
         f"shard {index}/{count}: {len(shard)} of {len(grid)} cells "
         f"({before.done} already stored, {before.missing} computed)"
     )
+    # Quarantined cells are reported but do not fail the shard: the
+    # other K-1 shards' work stays mergeable and a resume can retry.
+    _report_quarantine(store, shard)
     return 0
 
 
@@ -201,11 +286,23 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     before = store.status(grid.keys())
     fn, row_type = kernel_registry()[grid.kernel]
-    compute_grid(grid, fn, row_type, store=store, workers=args.workers)
+    try:
+        compute_grid(
+            grid,
+            fn,
+            row_type,
+            store=store,
+            workers=args.workers,
+            supervise=_supervision_from_args(args),
+        )
+    except TooManyFailures as exc:
+        print(f"resume aborted: {exc}", file=sys.stderr)
+        return 1
     print(
         f"resume: {len(grid)} cells ({before.done} already stored, "
         f"{before.missing} computed)"
     )
+    _report_quarantine(store, grid)
     return 0
 
 
@@ -216,6 +313,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(
         f"{grid.kernel} grid: {overall.done}/{overall.total} cells "
         f"stored in {args.store}"
+        + (f" ({overall.failed} quarantined)" if overall.failed else "")
     )
     if args.shards:
         for index in range(args.shards):
@@ -223,7 +321,13 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(
                 f"  shard {index}/{args.shards}: "
                 f"{shard_status.done}/{shard_status.total} done"
+                + (
+                    f", {shard_status.failed} quarantined"
+                    if shard_status.failed
+                    else ""
+                )
             )
+    _report_quarantine(store, grid)
     return 0 if overall.complete else 1
 
 
@@ -235,27 +339,62 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     store.rebuild_index()
     fn, row_type = kernel_registry()[grid.kernel]
     try:
-        rows = rows_from_store(grid, row_type, store)
+        rows = rows_from_store(
+            grid, row_type, store, allow_missing=args.allow_missing
+        )
     except MissingCells as exc:
         print(f"merge failed: {exc}", file=sys.stderr)
         for key in exc.keys[:10]:
             print(f"  missing {key}", file=sys.stderr)
         return 1
+    present = [row for row in rows if row is not None]
+    if args.allow_missing and len(present) < len(rows):
+        # Graceful degradation: name every hole (and why, when a
+        # quarantine record says) instead of refusing the whole table.
+        print(
+            f"merge degraded: {len(rows) - len(present)} of {len(rows)} "
+            f"cells missing",
+            file=sys.stderr,
+        )
+        for cell, failure_record in missing_report(grid, store):
+            failure = (failure_record or {}).get("failure", {})
+            why = (
+                f"{failure.get('kind', '?')}: "
+                f"{failure.get('exception_type', '?')} after "
+                f"{failure.get('attempts', '?')} attempt(s)"
+                if failure_record
+                else "no record (never computed, or torn)"
+            )
+            print(f"  missing {cell.key}: {why}", file=sys.stderr)
     if args.verify:
         recomputed = compute_grid(grid, fn, row_type)
-        if recomputed != rows:
+        # Under --allow-missing only the cells that exist are checked;
+        # a quarantined hole is reported above, not a verify failure.
+        mismatched = [
+            index
+            for index, row in enumerate(rows)
+            if row is not None and recomputed[index] != row
+        ]
+        if mismatched:
             print(
                 "verify FAILED: merged rows differ from a single-process sweep",
                 file=sys.stderr,
             )
             return 1
-        print(f"verify ok: {len(rows)} rows bit-identical to a fresh sweep")
-    payload = [asdict(row) for row in rows]
+        print(
+            f"verify ok: {len(present)} rows bit-identical to a fresh sweep"
+            + (
+                f" ({len(rows) - len(present)} missing cells skipped)"
+                if len(present) < len(rows)
+                else ""
+            )
+        )
+    payload = [asdict(row) for row in present]
     if args.output:
         Path(args.output).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
-        print(f"merged {len(rows)} rows into {args.output}")
+        print(f"merged {len(present)} rows into {args.output}")
     else:
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
@@ -274,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--store", required=True, metavar="DIR")
     run.add_argument("--workers", type=int, default=None, metavar="N")
     _add_grid_options(run)
+    _add_supervision_options(run)
     run.set_defaults(fn=_cmd_run)
 
     resume = sub.add_parser(
@@ -282,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--store", required=True, metavar="DIR")
     resume.add_argument("--workers", type=int, default=None, metavar="N")
     _add_grid_options(resume)
+    _add_supervision_options(resume)
     resume.set_defaults(fn=_cmd_resume)
 
     status = sub.add_parser("status", help="report stored vs missing cells")
@@ -299,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="recompute the grid in-process and assert bit-identical rows",
+    )
+    merge.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="degrade gracefully: emit the rows that exist plus a failure "
+        "footer instead of failing on missing/quarantined cells",
     )
     _add_grid_options(merge)
     merge.set_defaults(fn=_cmd_merge)

@@ -8,10 +8,21 @@ the store, fan the rest over :func:`repro.perf.parallel.parallel_indexed`,
 persist each result as it completes, return rows in canonical grid
 order.
 
+A ``supervise=`` :class:`repro.perf.supervise.Supervision` spec runs
+the same loop under the supervised executor instead: transient faults
+are retried, hung cells reaped, dead workers rebuilt, and a cell that
+exhausts its retries is *quarantined* — its classified failure lands as
+a durable store record and its row slot stays ``None`` — rather than
+killing the shard (``quarantine=False`` restores fail-fast via
+:class:`CellFailed`).  Fault-free supervised runs are bit-identical to
+unsupervised ones.
+
 :func:`rows_from_store` is the read-only half — ``merge``, ``status``
 and the table builders use it to reassemble a sweep without computing
 anything, failing loudly (:class:`MissingCells`) when records are
-absent or corrupt.
+absent or corrupt, unless ``allow_missing=True`` degrades gracefully
+(``None`` placeholders in canonical positions; see
+:func:`missing_report` for the failure footer data).
 """
 
 from __future__ import annotations
@@ -19,8 +30,10 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
+from ..perf import chaos
 from ..perf.parallel import parallel_indexed
 from ..perf.store import ResultStore, resolve_store
+from ..perf.supervise import CellFailure, Supervision, supervised_indexed
 from .grid import Cell, Grid
 
 
@@ -33,6 +46,19 @@ class MissingCells(ValueError):
             f"store is missing {len(keys)}/{len(grid)} cells of the "
             f"{grid.kernel} grid (run `python -m repro.sweep resume` to "
             f"compute them)"
+        )
+
+
+class CellFailed(RuntimeError):
+    """A supervised, non-quarantine run hit a terminal cell failure."""
+
+    def __init__(self, cell: Cell, failure: CellFailure) -> None:
+        self.cell = cell
+        self.failure = failure
+        super().__init__(
+            f"cell {cell.key} of the {cell.kernel} grid failed terminally "
+            f"({failure.kind}: {failure.exception_type} after "
+            f"{failure.attempts} attempt(s))"
         )
 
 
@@ -58,6 +84,7 @@ def compute_grid(
     *,
     store=None,
     workers: Optional[int] = None,
+    supervise: Optional[Supervision] = None,
 ) -> List[Any]:
     """Rows for every grid cell, reading through ``store`` when given.
 
@@ -71,6 +98,16 @@ def compute_grid(
     truth and ``merge`` rebuilds it).  The returned list is always in
     canonical grid order, so a warm, cold, sharded, or mixed run yields
     the identical row sequence.
+
+    ``supervise`` switches execution to the supervised pool
+    (:func:`repro.perf.supervise.supervised_indexed`): failures are
+    retried per its policy, and a cell that exhausts its attempts is
+    quarantined — a durable failure record replaces its result and its
+    slot in the returned list is ``None`` — unless
+    ``supervise.quarantine`` is False, in which case :class:`CellFailed`
+    raises.  With the default :class:`Supervision` (one attempt, no
+    deadline) fault-free output is bit-identical to the unsupervised
+    path.
     """
     resolved: Optional[ResultStore] = resolve_store(store)
     cells = list(grid)
@@ -83,18 +120,41 @@ def compute_grid(
                 rows[position] = row
                 continue
         todo.append(position)
-    results = parallel_indexed(
-        fn, [cells[position].as_dict() for position in todo], workers=workers
-    )
+    fn = chaos.wrap_if_active(fn)
+    params_list = [cells[position].as_dict() for position in todo]
     written: Dict[str, Any] = {}
     try:
         # Completion order, not input order: each finished cell is
         # persisted immediately, never queued behind a slower one.
-        for offset, row in results:
-            position = todo[offset]
-            rows[position] = row
-            if resolved is not None:
-                written[cells[position].key] = _persist(resolved, cells[position], row)
+        if supervise is None:
+            for offset, row in parallel_indexed(fn, params_list, workers=workers):
+                position = todo[offset]
+                rows[position] = row
+                if resolved is not None:
+                    written[cells[position].key] = _persist(
+                        resolved, cells[position], row
+                    )
+        else:
+            outcomes = supervised_indexed(
+                fn, params_list, workers=workers, supervision=supervise
+            )
+            for outcome in outcomes:
+                position = todo[outcome.index]
+                cell = cells[position]
+                if outcome.ok:
+                    rows[position] = outcome.value
+                    if resolved is not None:
+                        written[cell.key] = _persist(resolved, cell, outcome.value)
+                    continue
+                if not supervise.quarantine:
+                    raise CellFailed(cell, outcome.failure)
+                if resolved is not None:
+                    resolved.put_failure(
+                        cell.key,
+                        outcome.failure.as_record(),
+                        kernel=cell.kernel,
+                        params=cell.as_dict(),
+                    )
     finally:
         if resolved is not None and written:
             resolved.index_add(written)
@@ -103,9 +163,18 @@ def compute_grid(
 
 def _persist(store: ResultStore, cell: Cell, row: Any) -> Dict[str, Any]:
     """Write one row's record (indexing deferred to the caller's batch)."""
-    return store.put(
+    meta = store.put(
         cell.key, asdict(row), kernel=cell.kernel, params=cell.as_dict(), index=False
     )
+    # A success supersedes any quarantine left by an earlier run —
+    # supervised or not, a healed cell must stop reporting as failed.
+    store.clear_failure(cell.key)
+    plan = chaos.active_plan()
+    if plan is not None:
+        # The "corrupt" chaos fault models a torn write surviving the
+        # rename: it fires here, after the record landed.
+        plan.corrupt_after_write(store.record_path(cell.key), cell.as_dict())
+    return meta
 
 
 def persist_rows(grid: Grid, rows: List[Any], store) -> None:
@@ -127,12 +196,18 @@ def persist_rows(grid: Grid, rows: List[Any], store) -> None:
         resolved.index_add(written)
 
 
-def rows_from_store(grid: Grid, row_type: Type, store) -> List[Any]:
-    """Reassemble a complete sweep from stored records only.
+def rows_from_store(
+    grid: Grid, row_type: Type, store, *, allow_missing: bool = False
+) -> List[Any]:
+    """Reassemble a sweep from stored records only.
 
     Raises :class:`MissingCells` (listing the absent keys) if any cell
     has no readable, schema-valid record — a merge must never silently
-    return a partial sweep.
+    return a partial sweep.  ``allow_missing=True`` is the explicit
+    graceful-degradation opt-in: the returned list keeps canonical grid
+    length with ``None`` in each missing (e.g. quarantined) cell's
+    position, so table renderers can show ``—`` cells with a failure
+    footer instead of nothing at all.
     """
     resolved = resolve_store(store)
     if resolved is None:
@@ -143,11 +218,29 @@ def rows_from_store(grid: Grid, row_type: Type, store) -> List[Any]:
         row = _row_from_record(row_type, resolved.get(cell.key))
         if row is None:
             missing.append(cell.key)
-        else:
-            rows.append(row)
-    if missing:
+        rows.append(row)
+    if missing and not allow_missing:
         raise MissingCells(grid, tuple(missing))
     return rows
+
+
+def missing_report(grid: Grid, store) -> List[Tuple[Cell, Optional[Dict[str, Any]]]]:
+    """Each cell lacking a readable record, with its failure if known.
+
+    The data behind every graceful-degradation footer: a list of
+    ``(cell, failure_record_or_None)`` pairs in canonical grid order.
+    A ``None`` failure means the cell is merely missing (never
+    computed, or torn); a dict is the durable quarantine record
+    (``{"failure": {...}, "meta": {...}}``).
+    """
+    resolved = resolve_store(store)
+    if resolved is None:
+        raise ValueError("missing_report requires a store")
+    report = []
+    for cell in grid:
+        if not resolved.has(cell.key):
+            report.append((cell, resolved.failure(cell.key)))
+    return report
 
 
 def kernel_registry() -> Dict[str, Tuple[Callable[[Dict[str, Any]], Any], Type]]:

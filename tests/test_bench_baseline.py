@@ -76,15 +76,38 @@ class TestCheckBaseline:
         path = _baseline(tmp_path, {"old": 1.0})
         assert rb.check_baseline({"new": 5.0}, 1.0, path, 0.25) == 1
 
+    def test_overhead_kernel_uses_absolute_budget(self, tmp_path):
+        rb = _run_bench()
+        # Ratio kernels: baseline + OVERHEAD_SLACK, no machine scaling
+        # — a 10x faster machine must not shrink the overhead budget.
+        path = _baseline(tmp_path, {"k_overhead": 0.0}, calibration=10.0)
+        under = rb.OVERHEAD_SLACK * 0.8
+        over = rb.OVERHEAD_SLACK * 1.2
+        assert rb.check_baseline({"k_overhead": under}, 1.0, path, 0.25) == 0
+        assert rb.check_baseline({"k_overhead": over}, 1.0, path, 0.25) == 1
+
+    def test_negative_overhead_passes(self, tmp_path):
+        # Noise can make the supervised arm measure faster than raw.
+        rb = _run_bench()
+        path = _baseline(tmp_path, {"k_overhead": 0.0})
+        assert rb.check_baseline({"k_overhead": -0.08}, 1.0, path, 0.25) == 0
+
     def test_committed_quick_baseline_covers_engine(self):
         data = json.loads(
             (REPO / "benchmarks" / "quick_baseline.json").read_text()
         )
         assert "engine_3level_policies_512" in data["kernels"]
         assert "prefetch_3level_next_k_512" in data["kernels"]
+        assert "supervised_runner_overhead" in data["kernels"]
         assert data["meta"]["calibration_s"] > 0
+        # The committed overhead baseline is pinned at zero so the gate
+        # is exactly the OVERHEAD_SLACK budget, not a noisy measurement.
+        assert data["kernels"]["supervised_runner_overhead"] == 0.0
         # The gate's absolute slack must stay small relative to every
-        # gated kernel, or relative regressions hide inside it.
+        # *timed* kernel, or relative regressions hide inside it; ratio
+        # kernels use the absolute OVERHEAD_SLACK rule instead.
         rb = _run_bench()
         for name, seconds in data["kernels"].items():
+            if name.endswith("_overhead"):
+                continue
             assert rb.BASELINE_SLACK_S <= 0.25 * seconds, (name, seconds)

@@ -11,7 +11,7 @@ from repro.perf.memo import (
     resolve_cache,
     stable_key,
 )
-from repro.perf.parallel import parallel_iter, parallel_map
+from repro.perf.parallel import parallel_indexed, parallel_iter, parallel_map
 from repro.sim.hierarchy_sim import l1_speedup, simulate_l1_run
 
 
@@ -127,6 +127,74 @@ class TestParallelMap:
 
 def _square(x):
     return x * x
+
+
+def _square_or_raise(x):
+    if x < 0:
+        raise RuntimeError(f"scripted failure for {x}")
+    return x * x
+
+
+def _square_or_raise_slowly(x):
+    import time
+
+    if x < 0:
+        time.sleep(0.5)
+        raise RuntimeError(f"scripted failure for {x}")
+    return x * x
+
+
+def _mark_and_square(args):
+    import time
+    from pathlib import Path
+
+    x, directory = args
+    if x < 0:
+        raise RuntimeError(f"scripted failure for {x}")
+    time.sleep(0.3)
+    Path(directory, f"ran-{x}").write_text("")
+    return x * x
+
+
+class TestParallelIndexed:
+    def test_serial_yields_input_order(self):
+        assert list(parallel_indexed(_square, [3, 1, 2])) == [
+            (0, 9), (1, 1), (2, 4)
+        ]
+
+    def test_pool_yields_every_pair_once(self):
+        items = list(range(12))
+        pairs = sorted(parallel_indexed(_square, items, workers=3))
+        assert pairs == [(i, i * i) for i in items]
+
+    def test_serial_failure_propagates(self):
+        with pytest.raises(RuntimeError, match="scripted failure"):
+            list(parallel_indexed(_square_or_raise, [1, -2, 3]))
+
+    def test_pool_drains_completed_before_raising(self):
+        """A consumer persisting incrementally keeps every finished
+        cell: the failure surfaces only after completed futures drain —
+        even though the failing cell holds the lowest index."""
+        items = [-1, 1, 2, 3]  # index 0 fails, after the others finish
+        seen = []
+        with pytest.raises(RuntimeError, match="scripted failure for -1"):
+            for index, value in parallel_indexed(
+                _square_or_raise_slowly, items, workers=4
+            ):
+                seen.append((index, value))
+        assert sorted(seen) == [(1, 1), (2, 4), (3, 9)]
+
+    def test_pool_failure_cancels_queued_cells(self, tmp_path):
+        """Teardown after a failure must not start queued cells."""
+        items = [(x, str(tmp_path)) for x in [-1] + list(range(10))]
+        with pytest.raises(RuntimeError, match="scripted failure"):
+            list(parallel_indexed(_mark_and_square, items, workers=2))
+        started = list(tmp_path.glob("ran-*"))
+        # Only cells already running or in the pool's bounded call
+        # queue (workers + 1 deep) can still finish; the rest of the
+        # queue was cancelled, never drained.  2 running + 3 queued,
+        # plus one slot of scheduling slop.
+        assert len(started) <= 6
 
 
 class TestSweepWiring:

@@ -56,13 +56,18 @@ class TestResultStore:
         (tmp_path / "torn.json").write_text('{"value": [1, 2')
         (tmp_path / "wrongshape.json").write_text(json.dumps([1, 2]))
         (tmp_path / "novalue.json").write_text(json.dumps({"meta": {}}))
+        # The zero-length file a crash between open and write leaves.
+        (tmp_path / "empty.json").write_text("")
         assert store.get("torn") is None
         assert store.get("wrongshape") is None
         assert store.get("novalue") is None
+        assert store.get("empty") is None
         assert store.keys() == ["good"]
-        status = store.status(["good", "torn", "wrongshape", "missing"])
-        assert (status.total, status.done, status.missing) == (4, 1, 3)
-        assert status.missing_keys == ("torn", "wrongshape", "missing")
+        status = store.status(
+            ["good", "torn", "wrongshape", "empty", "missing"]
+        )
+        assert (status.total, status.done, status.missing) == (5, 1, 4)
+        assert status.missing_keys == ("torn", "wrongshape", "empty", "missing")
         assert not status.complete
 
     def test_status_complete(self, tmp_path):
@@ -112,6 +117,73 @@ class TestResultStore:
         assert built.directory == tmp_path
         with pytest.raises(TypeError):
             resolve_store(3.14)
+
+
+class TestFailureRecords:
+    FAILURE = {
+        "kind": "exception",
+        "exception_type": "ChaosFault",
+        "message": "scripted",
+        "attempts": 3,
+        "traceback_digest": "abc123def456",
+    }
+
+    def test_put_failure_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.failure("k") is None
+        store.put_failure(
+            "k", self.FAILURE, kernel="engine_cell", params={"n_bits": 16}
+        )
+        record = store.failure("k")
+        assert record["failure"] == self.FAILURE
+        assert record["meta"]["kernel"] == "engine_cell"
+        assert record["meta"]["params"] == {"n_bits": 16}
+        assert store.failure_keys() == ["k"]
+
+    def test_failure_never_shadows_a_result(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_failure("k", self.FAILURE)
+        assert not store.has("k")
+        assert store.keys() == []
+        store.put("k", {"speedup": 2.0})
+        # The result wins everywhere a caller could look.
+        assert store.has("k")
+        assert store.status(["k"]).complete
+        assert store.status(["k"]).failed == 0
+
+    def test_status_reports_failed_subset_of_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("done", 1)
+        store.put_failure("quarantined", self.FAILURE)
+        status = store.status(["done", "quarantined", "absent"])
+        assert (status.done, status.missing, status.failed) == (1, 2, 1)
+        assert status.failed_keys == ("quarantined",)
+
+    def test_clear_failure(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_failure("k", self.FAILURE)
+        store.clear_failure("k")
+        assert store.failure("k") is None
+        assert store.failure_keys() == []
+        store.clear_failure("never-existed")  # idempotent
+
+    def test_corrupt_failure_record_counts_as_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_failure("k", self.FAILURE)
+        store.failure_path("k").write_text('{"failure": [torn')
+        assert store.failure("k") is None
+        (tmp_path / "failures" / "shapeless.json").write_text(
+            json.dumps({"failure": "not-a-dict"})
+        )
+        assert store.failure("shapeless") is None
+        assert store.failure_keys() == []
+
+    def test_failure_records_invisible_to_record_scan(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("result", 1)
+        store.put_failure("bad", self.FAILURE)
+        assert store.keys() == ["result"]
+        assert set(store.rebuild_index()) == {"result"}
 
 
 class TestSweepCacheLayoutCompat:

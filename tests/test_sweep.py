@@ -22,13 +22,17 @@ from repro.core.design_space import (
     specialization_grid,
     specialization_sweep,
 )
+from repro.perf import chaos
 from repro.perf.memo import stable_key
 from repro.perf.store import ResultStore
+from repro.perf.supervise import RetryPolicy, Supervision
 from repro.sweep.cli import main as sweep_main
 from repro.sweep.grid import Cell, Grid, parse_shard_spec, shard_index
 from repro.sweep.runner import (
+    CellFailed,
     MissingCells,
     compute_grid,
+    missing_report,
     persist_rows,
     rows_from_store,
 )
@@ -440,3 +444,317 @@ class TestHierarchySweepRowTypes:
             rows = sweep(cache=False, **kwargs)
             for row in rows:
                 assert row_type(**json.loads(json.dumps(asdict(row)))) == row
+
+
+#: The small fault-tolerance grid: 1 workload x 1 size x 1 depth x
+#: 4 policies x 2 prefetchers = 8 cells.
+CHAOS_KWARGS = dict(workloads=("draper_adder",), sizes=(16,), depths=(2,))
+CHAOS_ARGS = ["--workloads", "draper_adder", "--sizes", "16",
+              "--depths", "2"]
+
+
+def _cell_with(grid, **wanted):
+    """The unique grid cell whose params include every (name, value)."""
+    matches = [
+        cell for cell in grid
+        if all(cell.as_dict().get(k) == v for k, v in wanted.items())
+    ]
+    assert len(matches) == 1, (wanted, matches)
+    return matches[0]
+
+
+def _record_bytes(store, keys):
+    return {key: store.record_path(key).read_bytes() for key in keys}
+
+
+class TestSupervisedComputeGrid:
+    def test_fault_free_supervised_store_bit_identical(self, tmp_path):
+        """The zero-retry supervised path is the identity wrapper: the
+        record *bytes* match the plain runner's, serial and pooled."""
+        grid = engine_grid(**CHAOS_KWARGS)
+        plain = ResultStore(tmp_path / "plain")
+        rows = compute_grid(grid, engine_cell, EngineRow, store=plain)
+        baseline = _record_bytes(plain, grid.keys())
+        for name, workers in [("serial", None), ("pool", 2)]:
+            store = ResultStore(tmp_path / name)
+            supervised = compute_grid(
+                grid, engine_cell, EngineRow, store=store, workers=workers,
+                supervise=Supervision(),
+            )
+            assert supervised == rows
+            assert _record_bytes(store, grid.keys()) == baseline
+
+    def test_quarantine_leaves_none_row_and_failure_record(self, tmp_path):
+        grid = engine_grid(**CHAOS_KWARGS)
+        poison = _cell_with(grid, policy="fifo", prefetch="next_k")
+        store = ResultStore(tmp_path)
+        plan = chaos.ChaosPlan.scripted(
+            [{"fault": "raise",
+              "match": {"policy": "fifo", "prefetch": "next_k"}}]
+        )
+        with chaos.active(plan):
+            rows = compute_grid(
+                grid, engine_cell, EngineRow, store=store,
+                supervise=Supervision(),
+            )
+        position = list(grid).index(poison)
+        assert rows[position] is None
+        assert sum(1 for row in rows if row is None) == 1
+        record = store.failure(poison.key)
+        assert record["failure"]["exception_type"] == "ChaosFault"
+        assert record["meta"]["params"] == poison.as_dict()
+        report = missing_report(grid, store)
+        assert [cell.key for cell, _ in report] == [poison.key]
+        assert report[0][1] == record
+
+    def test_quarantine_false_raises_cell_failed(self, tmp_path):
+        grid = engine_grid(**CHAOS_KWARGS)
+        plan = chaos.ChaosPlan.scripted(
+            [{"fault": "raise",
+              "match": {"policy": "fifo", "prefetch": "next_k"}}]
+        )
+        with chaos.active(plan):
+            with pytest.raises(CellFailed, match="failed terminally"):
+                compute_grid(
+                    grid, engine_cell, EngineRow,
+                    store=ResultStore(tmp_path),
+                    supervise=Supervision(quarantine=False),
+                )
+
+    def test_success_clears_stale_failure_record(self, tmp_path):
+        grid = engine_grid(**CHAOS_KWARGS)
+        poison = _cell_with(grid, policy="fifo", prefetch="next_k")
+        store = ResultStore(tmp_path)
+        plan = chaos.ChaosPlan.scripted(
+            [{"fault": "raise",
+              "match": {"policy": "fifo", "prefetch": "next_k"}}]
+        )
+        with chaos.active(plan):
+            compute_grid(
+                grid, engine_cell, EngineRow, store=store,
+                supervise=Supervision(),
+            )
+        assert store.failure(poison.key) is not None
+        # Chaos off: a plain (unsupervised) recompute heals the cell and
+        # drops the quarantine record.
+        healed = compute_grid(grid, engine_cell, EngineRow, store=store)
+        assert all(row is not None for row in healed)
+        assert store.failure(poison.key) is None
+        assert store.status(grid.keys()).complete
+
+    def test_partial_sweep_never_memoized(self, tmp_path):
+        """A quarantined sweep (None rows) must not poison the memo —
+        and must not crash trying to serialize None."""
+        from repro.perf.memo import SweepCache
+
+        memo = SweepCache()
+        plan = chaos.ChaosPlan.scripted(
+            [{"fault": "raise",
+              "match": {"policy": "fifo", "prefetch": "next_k"}}]
+        )
+        with chaos.active(plan):
+            rows = engine_sweep(
+                **CHAOS_KWARGS, cache=memo, supervise=Supervision()
+            )
+        assert sum(1 for row in rows if row is None) == 1
+        # A later fault-free sweep through the same memo is complete.
+        clean = engine_sweep(**CHAOS_KWARGS, cache=memo)
+        assert all(row is not None for row in clean)
+        assert clean == engine_sweep(**CHAOS_KWARGS, cache=False)
+
+    def test_rows_from_store_allow_missing_placeholders(self, tmp_path):
+        grid = engine_grid(**CHAOS_KWARGS)
+        store = ResultStore(tmp_path)
+        rows = compute_grid(grid, engine_cell, EngineRow, store=store)
+        victim = grid.cells[3]
+        store.record_path(victim.key).unlink()
+        with pytest.raises(MissingCells):
+            rows_from_store(grid, EngineRow, store)
+        degraded = rows_from_store(grid, EngineRow, store, allow_missing=True)
+        assert len(degraded) == len(grid)
+        assert degraded[3] is None
+        assert [r for r in degraded if r is not None] == [
+            row for i, row in enumerate(rows) if i != 3
+        ]
+        report = missing_report(grid, store)
+        assert [cell.key for cell, failure in report] == [victim.key]
+        assert report[0][1] is None  # missing, but not quarantined
+
+
+class TestChaosShardedAcceptance:
+    """Acceptance: a 4-shard run under scripted transient + poison +
+    hang faults — every shard exits 0, status names exactly the
+    quarantined cell, the degraded merge verifies, and a fault-free
+    resume heals the store to bit-identity with a clean run."""
+
+    def test_four_shards_survive_scripted_faults(self, tmp_path, capsys):
+        grid = engine_grid(**CHAOS_KWARGS)
+        poison = _cell_with(grid, policy="fifo", prefetch="next_k")
+        clean = ResultStore(tmp_path / "clean")
+        clean_rows = compute_grid(grid, engine_cell, EngineRow, store=clean)
+        store_dir = tmp_path / "store"
+        plan = chaos.ChaosPlan.scripted(
+            [
+                {"fault": "transient",
+                 "match": {"policy": "lru", "prefetch": "none"}, "times": 1},
+                {"fault": "raise",
+                 "match": {"policy": "fifo", "prefetch": "next_k"}},
+                {"fault": "hang",
+                 "match": {"policy": "score", "prefetch": "none"},
+                 "times": 1, "hang_s": 120.0},
+            ],
+            state_dir=tmp_path / "chaos-state",
+        )
+        with chaos.active(plan):
+            for index in range(4):
+                code = sweep_main(
+                    ["run", "--shard", f"{index}/4", "--store",
+                     str(store_dir), "--workers", "2", "--retries", "3",
+                     "--cell-timeout", "15", *CHAOS_ARGS]
+                )
+                assert code == 0  # quarantine never fails a shard
+
+        store = ResultStore(store_dir)
+        status = store.status(grid.keys())
+        assert status.failed_keys == (poison.key,)
+        assert status.done == len(grid) - 1
+
+        capsys.readouterr()
+        assert sweep_main(
+            ["status", "--store", str(store_dir), *CHAOS_ARGS]
+        ) == 1  # incomplete grid: nonzero for scripting
+        text = capsys.readouterr().out
+        assert "1 quarantined" in text
+        assert f"quarantined {poison.key}" in text
+        assert "ChaosFault" in text
+
+        # Degraded merge: --verify passes on the 7 present cells.
+        out = tmp_path / "partial.json"
+        assert sweep_main(
+            ["merge", "--store", str(store_dir), "--verify",
+             "--allow-missing", "--output", str(out), *CHAOS_ARGS]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"missing {poison.key}" in err
+        merged = [EngineRow(**row) for row in json.loads(out.read_text())]
+        position = list(grid).index(poison)
+        assert merged == [
+            row for i, row in enumerate(clean_rows) if i != position
+        ]
+        # A strict merge still refuses the partial store.
+        assert sweep_main(
+            ["merge", "--store", str(store_dir), *CHAOS_ARGS]
+        ) == 1
+
+        # Every non-quarantined record is byte-identical to the clean
+        # single-process run's (the faults never tainted survivors).
+        survivors = [key for key in grid.keys() if key != poison.key]
+        assert _record_bytes(store, survivors) == _record_bytes(
+            clean, survivors
+        )
+
+        # Chaos off: resume heals the poison cell, full merge verifies,
+        # and the store is record-for-record identical to the clean one.
+        assert sweep_main(
+            ["resume", "--store", str(store_dir), *CHAOS_ARGS]
+        ) == 0
+        assert store.failure(poison.key) is None
+        assert sweep_main(
+            ["merge", "--store", str(store_dir), "--verify", *CHAOS_ARGS]
+        ) == 0
+        assert _record_bytes(store, grid.keys()) == _record_bytes(
+            clean, grid.keys()
+        )
+
+    def test_corrupt_fault_heals_on_resume(self, tmp_path):
+        """A record torn after its atomic rename reads as missing and a
+        fault-free resume recomputes it bit-identically."""
+        grid = engine_grid(**CHAOS_KWARGS)
+        victim = _cell_with(grid, policy="belady", prefetch="next_k")
+        store_dir = tmp_path / "store"
+        plan = chaos.ChaosPlan.scripted(
+            [{"fault": "corrupt",
+              "match": {"policy": "belady", "prefetch": "next_k"},
+              "times": 1}],
+            state_dir=tmp_path / "chaos-state",
+        )
+        with chaos.active(plan):
+            assert sweep_main(
+                ["run", "--shard", "0/1", "--store", str(store_dir),
+                 *CHAOS_ARGS]
+            ) == 0
+        store = ResultStore(store_dir)
+        assert not store.has(victim.key)  # torn record = missing
+        status = store.status(grid.keys())
+        assert status.missing_keys == (victim.key,)
+        assert status.failed == 0  # torn, not quarantined
+        assert sweep_main(
+            ["resume", "--store", str(store_dir), *CHAOS_ARGS]
+        ) == 0
+        clean = ResultStore(tmp_path / "clean")
+        compute_grid(grid, engine_cell, EngineRow, store=clean)
+        assert _record_bytes(store, grid.keys()) == _record_bytes(
+            clean, grid.keys()
+        )
+
+    def test_max_failures_aborts_shard_nonzero(self, tmp_path, capsys):
+        plan = chaos.ChaosPlan.scripted(
+            [
+                {"fault": "raise", "match": {"policy": "fifo"}},
+                {"fault": "raise", "match": {"policy": "lru"}},
+            ]
+        )
+        with chaos.active(plan):
+            code = sweep_main(
+                ["run", "--shard", "0/1", "--store", str(tmp_path / "s"),
+                 "--retries", "1", "--max-failures", "1", *CHAOS_ARGS]
+            )
+        assert code == 1
+        assert "aborted" in capsys.readouterr().err
+
+
+class TestDegradedTables:
+    def test_engine_table_allow_missing_renders_dashes(self, tmp_path):
+        from repro.analysis import engine_table_text_from_store
+
+        grid = engine_grid(**CHAOS_KWARGS)
+        store = ResultStore(tmp_path)
+        plan = chaos.ChaosPlan.scripted(
+            [{"fault": "raise",
+              "match": {"policy": "fifo", "prefetch": "next_k"}}]
+        )
+        with chaos.active(plan):
+            compute_grid(
+                grid, engine_cell, EngineRow, store=store,
+                supervise=Supervision(),
+            )
+        with pytest.raises(MissingCells):
+            engine_table_text_from_store(store, **CHAOS_KWARGS)
+        text = engine_table_text_from_store(
+            store, allow_missing=True, **CHAOS_KWARGS
+        )
+        assert "—" in text
+        assert "1 cell(s) missing/quarantined" in text
+        assert "ChaosFault" in text  # the footer names the quarantine
+        # The hole still shows its axis parameters.
+        assert "fifo" in text
+
+    def test_table3_allow_missing_renders_dashes(self, tmp_path):
+        from repro.analysis import table3_text_from_store
+        from repro.core.design_space import (
+            TransferRow,
+            transfer_cell,
+            transfer_grid,
+        )
+
+        grid = transfer_grid()
+        store = ResultStore(tmp_path)
+        compute_grid(grid, transfer_cell, TransferRow, store=store)
+        store.record_path(grid.cells[5].key).unlink()
+        with pytest.raises(MissingCells):
+            table3_text_from_store(store)
+        text = table3_text_from_store(store, allow_missing=True)
+        assert "—" in text
+        assert "1 cell(s) missing/quarantined" in text
+        # All four standard points keep their axes despite the hole.
+        assert "7-L1" in text and "9-L2" in text
