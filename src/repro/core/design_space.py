@@ -469,48 +469,40 @@ def _fetch_order(
     return tuple(simulate_optimized(build_workload(workload, n_bits), capacity).order)
 
 
-def engine_cell(params: Mapping[str, Any]) -> EngineRow:
-    """One engine cell; module-level so worker processes can pickle it.
+def _engine_stack(params: Mapping[str, Any]):
+    """The hierarchy stack one engine cell's parameters describe.
 
     A ``memory_code_key`` parameter (present only on mixed-code cells,
     so pure-code cell hashes are unchanged) encodes every level below
     the compute level in that code family via
     :func:`repro.sim.levels.mixed_stack`.
     """
-    from ..circuits.workloads import build_workload
-    from ..sim.levels import mixed_stack, simulate_hierarchy_run, standard_stack
+    from ..sim.levels import mixed_stack, standard_stack
 
-    workload = params["workload"]
-    n_bits = params["n_bits"]
     code_key = params["code_key"]
     memory_code_key = params.get("memory_code_key", code_key)
-    circuit = build_workload(workload, n_bits)
     if memory_code_key != code_key:
-        stack = mixed_stack(
+        return mixed_stack(
             code_key, memory_code_key, params["depth"],
             compute_qubits=params["compute_qubits"],
             cache_factor=params["cache_factor"],
             parallel_transfers=params["parallel_transfers"],
         )
-    else:
-        stack = standard_stack(
-            code_key, params["depth"],
-            compute_qubits=params["compute_qubits"],
-            cache_factor=params["cache_factor"],
-            parallel_transfers=params["parallel_transfers"],
-        )
-    order = _fetch_order(
-        workload, n_bits, params["compute_qubits"], params["cache_factor"]
+    return standard_stack(
+        code_key, params["depth"],
+        compute_qubits=params["compute_qubits"],
+        cache_factor=params["cache_factor"],
+        parallel_transfers=params["parallel_transfers"],
     )
-    run = simulate_hierarchy_run(
-        stack, circuit, policy=params["policy"], order=order,
-        prefetch=params["prefetch"],
-    )
+
+
+def _engine_row(params: Mapping[str, Any], run) -> EngineRow:
+    """Fold one engine run into its row (shared by both kernels)."""
     return EngineRow(
-        workload=workload,
-        n_bits=n_bits,
-        code_key=code_key,
-        memory_code_key=memory_code_key,
+        workload=params["workload"],
+        n_bits=params["n_bits"],
+        code_key=params["code_key"],
+        memory_code_key=params.get("memory_code_key", params["code_key"]),
         depth=params["depth"],
         policy=params["policy"],
         prefetch=params["prefetch"],
@@ -521,6 +513,106 @@ def engine_cell(params: Mapping[str, Any]) -> EngineRow:
         transfers=run.transfers,
         makespan_s=run.total_time_s,
     )
+
+
+def engine_cell(params: Mapping[str, Any]) -> EngineRow:
+    """One engine cell; module-level so worker processes can pickle it."""
+    from ..circuits.workloads import build_workload
+    from ..sim.levels import simulate_hierarchy_run
+
+    circuit = build_workload(params["workload"], params["n_bits"])
+    stack = _engine_stack(params)
+    order = _fetch_order(
+        params["workload"], params["n_bits"],
+        params["compute_qubits"], params["cache_factor"],
+    )
+    run = simulate_hierarchy_run(
+        stack, circuit, policy=params["policy"], order=order,
+        prefetch=params["prefetch"],
+    )
+    return _engine_row(params, run)
+
+
+# ----------------------------------------------------------------------
+# batched engine execution: one traffic extraction, many priced cells
+# ----------------------------------------------------------------------
+
+#: Engine axes that only re-*price* the time domain.  The movement
+#: trace — every replacement decision, transfer count, and cache
+#: counter — is invariant across them (the PR 5 traffic-invariance
+#: pin), so cells differing only here share one extraction.
+ENGINE_PRICED_AXES = ("code_key", "memory_code_key", "parallel_transfers")
+
+
+def engine_traffic_key(params: Mapping[str, Any]) -> Optional[str]:
+    """The traffic-group identity of one engine cell, or None.
+
+    Cells with equal traffic keys share one movement trace and may be
+    priced together by :func:`engine_batch_cell`.  Returns ``None`` for
+    cells that must run the full simulation per cell: any prefetching
+    cell runs the split-transaction model, whose traffic is
+    time-coupled (a prefetch accepted under one latency assignment can
+    be vetoed under another), so batching is bypassed there.
+    """
+    if params.get("prefetch", "none") != "none":
+        return None
+    traffic = {
+        name: value
+        for name, value in params.items()
+        if name not in ENGINE_PRICED_AXES
+    }
+    return stable_key("engine_traffic", **traffic)
+
+
+def engine_batch_cell(group: Sequence[Mapping[str, Any]]) -> List[EngineRow]:
+    """Rows for one traffic group of engine cells, from one extraction.
+
+    Every member must share the same :func:`engine_traffic_key` — the
+    replacement machinery runs once against the group's shared
+    geometry, then :func:`repro.sim.replay.price_movement_trace_batch`
+    replays the movement trace across every member's codes and port
+    widths.  Each row is bit-identical to :func:`engine_cell` on the
+    same parameters.  Module-level so worker processes can pickle it.
+    """
+    from ..circuits.workloads import build_workload
+    from ..sim.replay import extract_movement_trace, price_movement_trace_batch
+
+    first = group[0]
+    key = engine_traffic_key(first)
+    if key is None:
+        raise ValueError(
+            "engine_batch_cell requires batchable cells "
+            "(prefetch='none'); got a time-coupled cell"
+        )
+    for params in group[1:]:
+        if engine_traffic_key(params) != key:
+            raise ValueError(
+                "engine_batch_cell group members must share one "
+                "traffic key (the shard planner groups by it)"
+            )
+    circuit = build_workload(first["workload"], first["n_bits"])
+    order = _fetch_order(
+        first["workload"], first["n_bits"],
+        first["compute_qubits"], first["cache_factor"],
+    )
+    stacks = [_engine_stack(params) for params in group]
+    trace = extract_movement_trace(
+        stacks[0], circuit, first["policy"], order=order
+    )
+    runs = price_movement_trace_batch(trace, stacks)
+    return [_engine_row(params, run) for params, run in zip(group, runs)]
+
+
+def engine_batch_spec():
+    """The engine grid's :class:`repro.sweep.runner.BatchSpec`.
+
+    Pass it as ``compute_grid(..., batch=engine_batch_spec())`` (or use
+    ``engine_sweep(batched=True)`` / the CLI's ``--batched``) to group
+    batchable cells by traffic key and price each group in one pass.
+    """
+    from ..sweep.runner import BatchSpec
+
+    return BatchSpec(group_key=engine_traffic_key, fn=engine_batch_cell)
 
 
 def _normalize_code_pairs(
@@ -624,6 +716,7 @@ def engine_sweep(
     cache=None,
     store=None,
     supervise=None,
+    batched: bool = False,
 ) -> List[EngineRow]:
     """Evaluate the generalized engine over its design axes.
 
@@ -639,6 +732,10 @@ def engine_sweep(
     :class:`repro.perf.store.ResultStore`) persists and reads through
     per-cell records, which is how sharded workers
     (``python -m repro.sweep``) and this function share work.
+
+    ``batched=True`` simulates each traffic group once and re-prices
+    its members together (see :func:`engine_batch_cell`) — bit-identical
+    rows and store records, much cheaper wide ``code_pairs`` axes.
     """
     if policies is None:
         from ..sim.policies import available_policies
@@ -671,6 +768,7 @@ def engine_sweep(
     rows = compute_grid(
         grid, engine_cell, EngineRow,
         store=store, workers=workers, supervise=supervise,
+        batch=engine_batch_spec() if batched else None,
     )
     if memo is not None and all(row is not None for row in rows):
         memo.put(key, [asdict(row) for row in rows])

@@ -198,7 +198,11 @@ class ChaosPlan:
         """
         digest = hashlib.sha256(
             json.dumps(
-                {"kind": fault.kind, "match": dict(fault.match), "params": dict(params)},
+                {
+                    "kind": fault.kind,
+                    "match": dict(fault.match),
+                    "params": dict(params),
+                },
                 sort_keys=True,
                 default=str,
             ).encode("utf-8")

@@ -208,6 +208,7 @@ def supervised_indexed(
     *,
     supervision: Supervision,
     workers: Optional[int] = None,
+    weights: Optional[Iterable[float]] = None,
 ) -> Iterator[CellOutcome]:
     """Yield a :class:`CellOutcome` per item, in completion order.
 
@@ -219,16 +220,33 @@ def supervised_indexed(
     even for ``workers<=1`` — deadlines can only be enforced on work
     that runs in a reapable child process.
 
+    ``weights`` (one positive factor per item, default 1.0) scales each
+    item's deadline: a group-shaped item covering G cells gets
+    ``G * cell_timeout_s`` of wall clock before it is reaped, so
+    batching never tightens the effective per-cell budget.  Retry
+    accounting is unaffected — an item is one unit of work and each
+    failure charges it exactly one attempt, however many cells it
+    carries.
+
     Raises :class:`TooManyFailures` once terminal failures exceed
     ``supervision.max_failures`` (``None`` = unlimited).
     """
     cells = list(items)
     if workers is not None and workers < 0:
         raise ValueError("workers cannot be negative")
+    scale: Optional[List[float]] = None
+    if weights is not None:
+        scale = [float(w) for w in weights]
+        if len(scale) != len(cells):
+            raise ValueError(
+                f"weights must match items ({len(scale)} != {len(cells)})"
+            )
+        if any(w <= 0.0 for w in scale):
+            raise ValueError("weights must be positive")
     serial = not workers or workers <= 1 or len(cells) <= 1
     if serial and supervision.cell_timeout_s is None:
         return _supervised_serial(fn, cells, supervision)
-    return _supervised_pool(fn, cells, max(1, workers or 1), supervision)
+    return _supervised_pool(fn, cells, max(1, workers or 1), supervision, scale)
 
 
 def _check_budget(failures: int, supervision: Supervision) -> None:
@@ -288,6 +306,7 @@ def _supervised_pool(
     cells: List[T],
     workers: int,
     supervision: Supervision,
+    weights: Optional[List[float]] = None,
 ) -> Iterator[CellOutcome]:
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
@@ -344,7 +363,10 @@ def _supervised_pool(
                 continue
             inflight[future] = index
             if supervision.cell_timeout_s is not None:
-                deadlines[future] = time.monotonic() + supervision.cell_timeout_s
+                allowance = supervision.cell_timeout_s
+                if weights is not None:
+                    allowance *= weights[index]
+                deadlines[future] = time.monotonic() + allowance
 
     try:
         while ready or delayed or inflight:

@@ -57,7 +57,7 @@ from ..ecc.concatenated import by_key
 from ..ecc.transfer import TransferNetwork
 from .cache import simulate_optimized
 from .events import EventKernel, PortServer
-from .policies import PolicyCache, make_policy
+from .policies import PolicyCache, make_policy, validate_policy
 from .prefetch import make_prefetcher, validate_prefetcher
 
 #: Level-1 compute-region size used across the hierarchy studies: one
@@ -483,13 +483,45 @@ def simulate_hierarchy_run(
     window), never on the eviction policy — callers comparing policies
     can compute ``simulate_optimized(circuit, capacity).order`` once
     and pass it as ``order`` to skip redundant scheduling runs.
+
+    This entry point runs the *fast* engines — the reservation model
+    through :mod:`repro.sim.replay` (extract the movement trace, price
+    it), the split-transaction model through
+    :mod:`repro.sim.fastsplit` (the flattened event loop) — both
+    pinned bit-identical to the retained reference implementations
+    behind :func:`simulate_hierarchy_run_audited`.
     """
-    result, _ = simulate_hierarchy_run_audited(
-        stack, workload, policy,
-        window=window, fetch=fetch, order=order,
-        prefetch=prefetch, pipeline=pipeline,
+    circuit = _resolve_workload(workload)
+    if not circuit.gates:
+        raise ValueError("cannot simulate an empty circuit")
+    validate_prefetcher(prefetch)
+    if pipeline is None:
+        pipeline = prefetch != "none"
+    if prefetch != "none" and not pipeline:
+        raise ValueError(
+            f"prefetch={prefetch!r} requires the split-transaction "
+            "pipeline; pipeline=False contradicts it"
+        )
+    validate_policy(policy)
+    order = _resolve_order(
+        circuit, stack.levels[0].capacity, window, fetch, order
     )
-    return result
+    if pipeline:
+        from .fastsplit import simulate_split_fast, supports_fast_split
+
+        if supports_fast_split(policy, prefetch):
+            return simulate_split_fast(
+                stack, circuit, order, policy, prefetch
+            )
+        run = _SplitTransactionRun(
+            stack, circuit, order, circuit.operand_trace(order), policy,
+            [make_policy(policy) for _ in stack.levels[:-1]], prefetch,
+        )
+        return run.run()[0]
+    from .replay import _extract, _scan_program, price_movement_trace
+
+    movement = _extract(stack, circuit, policy, _scan_program(circuit, order))
+    return price_movement_trace(movement, stack)
 
 
 def simulate_hierarchy_run_audited(

@@ -1,0 +1,1077 @@
+"""Traffic/time factorization for batched design-space sweeps.
+
+The engine-grid sweeps re-run :func:`~repro.sim.levels.simulate_hierarchy_run`
+for every (code assignment, port provisioning) point even though the
+*replacement traffic* — which qubit moves across which boundary, in
+what order — is identical across all of them.  PR 5 pinned that
+invariance for the reservation model: the caches never observe time,
+so their event stream depends only on (capacity, policy, trace).  This
+module exploits it:
+
+* :func:`extract_movement_trace` runs the cache machinery **once** per
+  (workload, depth, policy) group and records a code-agnostic
+  :class:`MovementTrace` — per-gate miss records ``(source level,
+  evicted?, cascade length)`` plus every traffic counter;
+* :func:`price_movement_trace` replays that trace against one concrete
+  :class:`~repro.sim.levels.HierarchyStack`, reproducing the greedy
+  port-reservation arithmetic float-for-float, so its
+  :class:`~repro.sim.levels.HierarchyEngineResult` is bit-identical to
+  a fresh :func:`~repro.sim.levels.simulate_hierarchy_run`;
+* :func:`price_movement_trace_batch` prices the trace across **many**
+  stacks at once — scalar per config below
+  :data:`BATCH_NUMPY_THRESHOLD` configs, a vectorized numpy pass (one
+  ``(configs, lanes)`` array per network) above it.
+
+The extraction has two implementations: a *specialized* flattened loop
+for the four shipped eviction policies (dict-as-recency-order, an
+incremental score window, and an O(1) Belady next-use scheme over a
+precomputed ``next_pos`` array) and a *generic* fallback that drives
+the real :class:`~repro.sim.policies.PolicyCache` objects for any
+other registered policy.  Both are pinned equal to each other and to
+the retained reference engine by the equivalence tests.
+
+Batching is bypassed — cells fall back to per-cell simulation — for
+split-transaction runs with prefetching (``prefetch != "none"``): port
+contention feeds back into the victim-exclusion and veto decisions
+there, so the traffic is *not* code-invariant.  The same bypass will
+apply to any future policy whose decisions observe time (per-level
+mixed policies with shared state, noise-coupled residency costs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..circuits.circuit import Circuit
+from .levels import (
+    HierarchyEngineResult,
+    HierarchyStack,
+    LevelStat,
+    _resolve_order,
+    _resolve_workload,
+)
+from .policies import PolicyCache, make_policy, validate_policy
+
+__all__ = [
+    "BATCH_NUMPY_THRESHOLD",
+    "MovementTrace",
+    "extract_movement_trace",
+    "price_movement_trace",
+    "price_movement_trace_batch",
+]
+
+_INF = math.inf
+
+#: Policies with a hand-flattened extraction loop; anything else goes
+#: through the generic :class:`~repro.sim.policies.PolicyCache` path.
+_SPECIALIZED_POLICIES = frozenset({"lru", "fifo", "score", "belady"})
+
+#: Config count at which the numpy batch pricer overtakes the scalar
+#: loop (numpy pays a fixed per-event overhead that only amortizes
+#: across enough configurations).
+BATCH_NUMPY_THRESHOLD = 32
+
+
+# ----------------------------------------------------------------------
+# scan programs (per-(circuit, order) flattened schedules, cached)
+# ----------------------------------------------------------------------
+
+class _ScanProgram:
+    """The flattened scheduled program one extraction scans.
+
+    Everything here is a pure function of (circuit, order) — the gate
+    operand tuples and EC durations in scheduled order, the operand
+    trace, the touched-qubit set — so it is computed once and cached on
+    the circuit instance, shared by every policy and every stack.
+    """
+
+    __slots__ = (
+        "gate_qubits",
+        "gate_ec",
+        "gate_ec_tuple",
+        "trace",
+        "touched",
+        "total_ec",
+        "_next_pos",
+        "_belady_keys",
+    )
+
+    def __init__(self, circuit: Circuit, order: Sequence[int]) -> None:
+        gates = circuit.gates
+        self.gate_qubits: List[Tuple[int, ...]] = [gates[idx].qubits for idx in order]
+        self.gate_ec: List[int] = [gates[idx].ec_slots for idx in order]
+        self.gate_ec_tuple: Tuple[int, ...] = tuple(self.gate_ec)
+        self.trace: List[int] = [q for qubits in self.gate_qubits for q in qubits]
+        self.touched: List[int] = circuit.touched_qubits()
+        self.total_ec: int = sum(self.gate_ec)
+        self._next_pos: Optional[List[int]] = None
+        self._belady_keys: Dict[int, List[int]] = {}
+
+    def next_pos(self) -> List[int]:
+        """``next_pos[p]``: next position of ``trace[p]`` after ``p``.
+
+        One backward scan gives every Belady next-use query in O(1):
+        at a demand access of ``q`` at position ``p`` the next use of
+        ``q`` is exactly ``next_pos[p]``.  "Never recurs" is encoded as
+        ``len(trace)`` — strictly greater than every finite position,
+        so comparisons order exactly like the reference's
+        :data:`math.inf` while keeping the array all-int (int keys make
+        the Belady heap entries cheap 2-tuples).
+        """
+        if self._next_pos is None:
+            trace = self.trace
+            n = len(trace)
+            nxt: List[int] = [n] * n
+            last: Dict[int, int] = {}
+            for p in range(n - 1, -1, -1):
+                q = trace[p]
+                nxt[p] = last.get(q, n)
+                last[q] = p
+            self._next_pos = nxt
+        return self._next_pos
+
+    def belady_keys(self, span: int) -> List[int]:
+        """``-next_pos[p] * span`` — the distance part of a heap key.
+
+        A Belady heap entry pushed at position ``p`` with push counter
+        ``seq`` gets the int key ``seq - next_pos[p] * span``; with
+        ``span`` exceeding every seq the min-heap pops by descending
+        next use, oldest push first.  The distance part depends only on
+        the scan program (and ``span``), so it is precomputed here once
+        and the hot loop pays a single add per access.
+        """
+        cache = self._belady_keys
+        keys = cache.get(span)
+        if keys is None:
+            keys = [-nd * span for nd in self.next_pos()]
+            cache.clear()  # spans are near-constant; keep one
+            cache[span] = keys
+        return keys
+
+
+def _scan_program(circuit: Circuit, order: Sequence[int]) -> _ScanProgram:
+    """The cached :class:`_ScanProgram` for (circuit, order).
+
+    Cached on the circuit instance (circuits are immutable once they
+    enter the simulator); the key carries the gate count so a circuit
+    extended after a run cannot serve a stale program.
+    """
+    cache = circuit.__dict__.setdefault("_scan_programs", {})
+    key = (len(circuit.gates), circuit.n_qubits, tuple(order))
+    program = cache.get(key)
+    if program is None:
+        program = _ScanProgram(circuit, order)
+        cache.clear()  # one schedule per circuit is the norm; don't hoard
+        cache[key] = program
+    return program
+
+
+# ----------------------------------------------------------------------
+# the movement trace
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MovementTrace:
+    """The code-agnostic traffic of one reservation-model run.
+
+    Every miss is three small integers — the level the operand was
+    found at (``miss_src``), whether the compute-level insertion
+    evicted a resident (``miss_evict``), and how many cascade
+    write-backs rippled down the stack (``miss_clen``) — grouped per
+    scheduled gate by ``gate_nmiss``.  Together with the per-gate EC
+    durations this is *everything* the time model consumes: the
+    re-pricer never needs qubit identities, and every cache counter is
+    already final (replacement never observes time).
+    """
+
+    workload: str
+    policy: str
+    depth: int
+    capacities: Tuple[Optional[int], ...]
+    gate_ec: Tuple[int, ...]
+    gate_nmiss: Tuple[int, ...]
+    miss_src: Tuple[int, ...]
+    miss_evict: Tuple[int, ...]
+    miss_clen: Tuple[int, ...]
+    fetches: Tuple[int, ...]
+    writebacks: Tuple[int, ...]
+    bottom_hits: int
+    level_accesses: Tuple[int, ...]
+    level_hits: Tuple[int, ...]
+    level_misses: Tuple[int, ...]
+    level_evictions: Tuple[int, ...]
+    final_occupancy: Tuple[int, ...]
+    total_ec: int
+
+    def to_bytes(self) -> bytes:
+        """A canonical byte serialization (for invariance pins).
+
+        Two traces are byte-equal iff every field is equal, so the
+        PR 5 "traffic is code-agnostic" invariant is assertable as a
+        single ``bytes`` comparison across code assignments.
+        """
+        payload = {
+            "workload": self.workload,
+            "policy": self.policy,
+            "depth": self.depth,
+            "capacities": list(self.capacities),
+            "gate_ec": list(self.gate_ec),
+            "gate_nmiss": list(self.gate_nmiss),
+            "miss_src": list(self.miss_src),
+            "miss_evict": list(self.miss_evict),
+            "miss_clen": list(self.miss_clen),
+            "fetches": list(self.fetches),
+            "writebacks": list(self.writebacks),
+            "bottom_hits": self.bottom_hits,
+            "level_accesses": list(self.level_accesses),
+            "level_hits": list(self.level_hits),
+            "level_misses": list(self.level_misses),
+            "level_evictions": list(self.level_evictions),
+            "final_occupancy": list(self.final_occupancy),
+            "total_ec": self.total_ec,
+        }
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("ascii")
+
+    @property
+    def n_misses(self) -> int:
+        return len(self.miss_src)
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+
+def extract_movement_trace(
+    stack: HierarchyStack,
+    workload: Union[Circuit, str],
+    policy: str = "lru",
+    *,
+    window: Optional[int] = None,
+    fetch: str = "optimized",
+    order: Optional[Sequence[int]] = None,
+) -> MovementTrace:
+    """Run the replacement machinery once; return the movement trace.
+
+    Accepts the same workload/scheduling arguments as
+    :func:`~repro.sim.levels.simulate_hierarchy_run` (reservation model
+    only — split-transaction traffic with prefetching is time-coupled
+    and cannot be factored).  Only the *geometry* of ``stack`` matters
+    (depth and per-level capacities); its codes and port provisioning
+    are deliberately ignored, which is the whole point: one trace
+    prices every code assignment of the same shape.
+    """
+    circuit = _resolve_workload(workload)
+    if not circuit.gates:
+        raise ValueError("cannot simulate an empty circuit")
+    validate_policy(policy)
+    order = _resolve_order(circuit, stack.levels[0].capacity, window, fetch, order)
+    return _extract(stack, circuit, policy, _scan_program(circuit, order))
+
+
+def _extract(
+    stack: HierarchyStack,
+    circuit: Circuit,
+    policy: str,
+    program: _ScanProgram,
+) -> MovementTrace:
+    """Dispatch to the flattened or the generic extraction loop."""
+    if policy in _SPECIALIZED_POLICIES:
+        return _extract_specialized(stack, circuit, policy, program)
+    return _extract_generic(stack, circuit, policy, program)
+
+
+def _trace_from_state(
+    stack: HierarchyStack,
+    circuit: Circuit,
+    policy: str,
+    program: _ScanProgram,
+    gate_nmiss: List[int],
+    miss_src: List[int],
+    miss_evict: List[int],
+    miss_clen: List[int],
+    fetches: List[int],
+    writebacks: List[int],
+    bottom_hits: int,
+    accesses: List[int],
+    hits: List[int],
+    misses: List[int],
+    evictions: List[int],
+    location: Dict[int, int],
+) -> MovementTrace:
+    """Assemble the :class:`MovementTrace` from an extraction's state."""
+    occupancy = [0] * stack.depth
+    for lvl in location.values():
+        occupancy[lvl] += 1
+    return MovementTrace(
+        workload=circuit.name or f"circuit-{circuit.n_qubits}q",
+        policy=policy,
+        depth=stack.depth,
+        capacities=tuple(level.capacity for level in stack.levels),
+        gate_ec=program.gate_ec_tuple,
+        gate_nmiss=tuple(gate_nmiss),
+        miss_src=tuple(miss_src),
+        miss_evict=tuple(miss_evict),
+        miss_clen=tuple(miss_clen),
+        fetches=tuple(fetches),
+        writebacks=tuple(writebacks),
+        bottom_hits=bottom_hits,
+        level_accesses=tuple(accesses),
+        level_hits=tuple(hits),
+        level_misses=tuple(misses),
+        level_evictions=tuple(evictions),
+        final_occupancy=tuple(occupancy),
+        total_ec=program.total_ec,
+    )
+
+
+def _extract_specialized(
+    stack: HierarchyStack,
+    circuit: Circuit,
+    policy: str,
+    program: _ScanProgram,
+) -> MovementTrace:
+    """The flattened extraction loop for the four shipped policies.
+
+    Replicates :class:`~repro.sim.policies.PolicyCache` plus the
+    shipped policy classes exactly — one insertion-ordered dict per
+    level doubles as resident set and recency order (hits reinsert,
+    matching ``OrderedDict.move_to_end``), the score window slides
+    incrementally, and Belady reads next uses from the scan program's
+    ``next_pos`` array instead of bisecting (a demand access at
+    position ``p`` *is* an occurrence of its qubit, and a cascaded
+    victim cannot have recurred since its last touch — the occurrence
+    would have been a demand access pulling it up — so cached next
+    uses stay exact all the way down the stack).
+
+    The loop records only the per-miss ``(src, evicted, cascade)``
+    triples; every access/hit/traffic counter is derived from them
+    afterwards (see :func:`_trace_from_misses`), which keeps counter
+    bookkeeping entirely out of the hot path.
+    """
+    bottom = stack.depth - 1
+    caps = [level.capacity for level in stack.levels[:-1]]
+    n_finite = len(caps)
+    trace = program.trace
+    n = len(trace)
+    orders: List[Dict[int, None]] = [{} for _ in range(n_finite)]
+    refresh_on_hit = policy != "fifo"
+    track_nu = policy == "belady"
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    heapify = heapq.heapify
+
+    # --- per-policy victim state -------------------------------------
+    # Belady: one lazily-pruned max-heap per level over int-keyed
+    # 2-tuples ``(seq - dist * span, q)`` where ``dist`` is the next
+    # use cached at the qubit's last compute-level access, ``seq`` a
+    # monotone push counter and ``span`` exceeds every seq — the
+    # min-heap then pops by descending next use, oldest push first,
+    # which is the reference scan's LRU-first tie-break (every recency
+    # refresh is accompanied by a push; finite next uses are globally
+    # unique, so real ties only arise among never-used-again qubits,
+    # where push order *is* recency order).  An entry is current iff
+    # ``q`` is resident at the level it was pushed for and the entry
+    # *is* the latest push for ``q`` (``cur_key[q]`` matches; seq makes
+    # keys globally unique): a next use can only change at a
+    # compute-level access of ``q`` — where it strictly increases and a
+    # fresh entry is pushed — and every inter-level move pushes into
+    # the destination heap, so the latest push always lives in the heap
+    # of the qubit's current level.  ``keybase`` precomputes the
+    # ``-dist * span`` part per trace position (a cascaded victim's
+    # next use carries down unchanged — it cannot have recurred since
+    # its last touch, the occurrence would have been a demand access
+    # pulling it up — so ``qkb[q]`` simply remembers the base from the
+    # last compute-level access).
+    keybase: Sequence[int] = ()
+    qkb: List[int] = []
+    cur_key: List[int] = []
+    bheaps: List[List[Tuple[int, int]]] = [[] for _ in range(n_finite)]
+    bseq = 0
+    # span must exceed the total push count (≤ depth pushes per trace
+    # position); a depth-independent value keeps the precomputed key
+    # bases shared across stacks of different depths.
+    span = n * max(stack.depth, 64) + 1
+    if track_nu:
+        keybase = program.belady_keys(span)
+        qkb = [0] * circuit.n_qubits
+        cur_key = [0] * circuit.n_qubits
+    # Score: the reference keeps one sliding window per level, but the
+    # window content is a pure function of the sync position and every
+    # victim call syncs its level to the current operand position — so
+    # all levels always observe identical counts, and one shared
+    # window suffices.
+    window = 256  # ScorePolicy's default lookahead
+    wpos = -1
+    counts: List[int] = []
+    if policy == "score":
+        counts = [0] * circuit.n_qubits
+        for q in trace[:window]:
+            counts[q] += 1
+
+    def victim_recency(i, pos, pinned):
+        d = orders[i]
+        if not pinned:
+            return next(iter(d))
+        for q in d:
+            if q not in pinned:
+                return q
+        return next(iter(d))  # unsatisfiable pin: fall back
+
+    def victim_score(i, pos, pinned):
+        nonlocal wpos
+        while wpos < pos:  # slide the window to cover pos+1..pos+window
+            wpos += 1
+            counts[trace[wpos]] -= 1
+            entering = wpos + window
+            if entering < n:
+                counts[trace[entering]] += 1
+        best = None
+        best_score = None
+        for q in orders[i]:  # LRU-first iteration breaks ties
+            if q in pinned:
+                continue
+            score = counts[q]
+            if best_score is None or score < best_score:
+                best, best_score = q, score
+                if score == 0:
+                    break
+        if best is None:
+            return next(iter(orders[i]))
+        return best
+
+    def victim_belady(i, pos, pinned):
+        h = bheaps[i]
+        d = orders[i]
+        if len(h) > (len(d) << 2) + 64:
+            # Compact: stale entries otherwise accumulate and deepen
+            # every subsequent sift (the heap is lazily pruned).
+            h[:] = [e for e in h if cur_key[e[1]] == e[0] and e[1] in d]
+            heapify(h)
+        stash = None
+        while h:
+            key, q = heappop(h)
+            if q not in d or cur_key[q] != key:
+                continue  # stale: the qubit moved since this push
+            if q in pinned:
+                if stash is None:
+                    stash = []
+                stash.append((key, q))
+                continue
+            if stash:
+                for e in stash:
+                    heappush(h, e)
+            return q
+        if stash:  # unsatisfiable pin: fall back like the scan
+            for e in stash:
+                heappush(h, e)
+        return next(iter(d))
+
+    select_victim = {
+        "lru": victim_recency,
+        "fifo": victim_recency,
+        "score": victim_score,
+        "belady": victim_belady,
+    }[policy]
+
+    # --- the scan ----------------------------------------------------
+    location = [-1] * circuit.n_qubits
+    for q in program.touched:
+        location[q] = bottom
+    gate_nmiss: List[int] = []
+    miss_src: List[int] = []
+    miss_evict: List[int] = []
+    miss_clen: List[int] = []
+    append_nmiss = gate_nmiss.append
+    append_src = miss_src.append
+    append_evict = miss_evict.append
+    append_clen = miss_clen.append
+    d0 = orders[0]
+    cap0 = caps[0]
+    h0 = bheaps[0]
+    pos = 0
+    # Two copies of the scan so the per-access policy checks stay out
+    # of the inner loop: the Belady variant threads the heap pushes,
+    # the recency/score variant only maintains the ordered dicts.
+    if track_nu:
+        for qubits in program.gate_qubits:
+            nmiss = 0
+            j = 0
+            for q in qubits:
+                src = location[q]
+                if src == 0:
+                    # Guaranteed hit at the compute level.
+                    del d0[q]
+                    d0[q] = None
+                    kb = keybase[pos]
+                    qkb[q] = kb
+                    key = bseq + kb
+                    cur_key[q] = key
+                    heappush(h0, (key, q))
+                    bseq += 1
+                    j += 1
+                    pos += 1
+                    continue
+                if src != bottom:
+                    del orders[src][q]
+                evicted = None
+                if len(d0) >= cap0:
+                    # The operands already issued for this gate are
+                    # pinned (they cannot be teleported away mid-gate).
+                    evicted = select_victim(0, pos, qubits[:j])
+                    del d0[evicted]
+                d0[q] = None
+                kb = keybase[pos]
+                qkb[q] = kb
+                key = bseq + kb
+                cur_key[q] = key
+                heappush(h0, (key, q))
+                bseq += 1
+                location[q] = 0
+                clen = 0
+                if evicted is not None:
+                    location[evicted] = 1
+                    victim = evicted
+                    lvl = 1
+                    while lvl < bottom:
+                        d = orders[lvl]
+                        bumped = None
+                        if len(d) >= caps[lvl]:
+                            bumped = select_victim(lvl, pos, ())
+                            del d[bumped]
+                        d[victim] = None
+                        # The victim's cached next use carries down
+                        # unchanged (see the invariant above).
+                        key = bseq + qkb[victim]
+                        cur_key[victim] = key
+                        heappush(bheaps[lvl], (key, victim))
+                        bseq += 1
+                        if bumped is None:
+                            break
+                        location[bumped] = lvl + 1
+                        victim = bumped
+                        lvl += 1
+                        clen += 1
+                append_src(src)
+                append_evict(1 if evicted is not None else 0)
+                append_clen(clen)
+                nmiss += 1
+                j += 1
+                pos += 1
+            append_nmiss(nmiss)
+    else:
+        for qubits in program.gate_qubits:
+            nmiss = 0
+            j = 0
+            for q in qubits:
+                src = location[q]
+                if src == 0:
+                    # Guaranteed hit at the compute level.
+                    if refresh_on_hit:
+                        del d0[q]
+                        d0[q] = None
+                    j += 1
+                    pos += 1
+                    continue
+                if src != bottom:
+                    del orders[src][q]
+                evicted = None
+                if len(d0) >= cap0:
+                    # The operands already issued for this gate are
+                    # pinned (they cannot be teleported away mid-gate).
+                    evicted = select_victim(0, pos, qubits[:j])
+                    del d0[evicted]
+                d0[q] = None
+                location[q] = 0
+                clen = 0
+                if evicted is not None:
+                    location[evicted] = 1
+                    victim = evicted
+                    lvl = 1
+                    while lvl < bottom:
+                        d = orders[lvl]
+                        bumped = None
+                        if len(d) >= caps[lvl]:
+                            bumped = select_victim(lvl, pos, ())
+                            del d[bumped]
+                        d[victim] = None
+                        if bumped is None:
+                            break
+                        location[bumped] = lvl + 1
+                        victim = bumped
+                        lvl += 1
+                        clen += 1
+                append_src(src)
+                append_evict(1 if evicted is not None else 0)
+                append_clen(clen)
+                nmiss += 1
+                j += 1
+                pos += 1
+            append_nmiss(nmiss)
+
+    occupancy = [0] * stack.depth
+    for q in program.touched:
+        occupancy[location[q]] += 1
+    return _trace_from_misses(
+        stack,
+        circuit,
+        policy,
+        program,
+        gate_nmiss,
+        miss_src,
+        miss_evict,
+        miss_clen,
+        occupancy,
+    )
+
+
+def _trace_from_misses(
+    stack: HierarchyStack,
+    circuit: Circuit,
+    policy: str,
+    program: _ScanProgram,
+    gate_nmiss: List[int],
+    miss_src: List[int],
+    miss_evict: List[int],
+    miss_clen: List[int],
+    occupancy: List[int],
+) -> MovementTrace:
+    """Derive every traffic counter from the per-miss records.
+
+    The scan path of ``_run_reservation`` fixes each counter as a pure
+    function of the miss stream: a miss from ``src`` passes through
+    (and is counted a miss at) every level ``k < src`` above its hop
+    path, is found at ``src`` (a ``lookup_remove`` hit below the
+    backing store, a bottom hit otherwise), and its cascade writes back
+    through levels ``1..clen`` — which also pins ``evictions[k] ==
+    writebacks[k]`` for ``k >= 1`` and ``evictions[0] ==
+    writebacks[0]`` (every compute-level eviction pairs with exactly
+    one write-back).
+    """
+    bottom = stack.depth - 1
+    n_finite = bottom
+    n_misses = len(miss_src)
+    src_count = [0] * (bottom + 1)
+    for s, cnt in Counter(miss_src).items():
+        src_count[s] = cnt
+    clen_count = [0] * (bottom + 1)
+    for c, cnt in Counter(miss_clen).items():
+        clen_count[c] = cnt
+    evicted0 = sum(miss_evict)
+    accesses = [0] * n_finite
+    hits = [0] * n_finite
+    misses = [0] * n_finite
+    evictions = [0] * n_finite
+    fetches = [0] * n_finite
+    writebacks = [0] * n_finite
+    accesses[0] = len(program.trace)
+    misses[0] = n_misses
+    hits[0] = accesses[0] - n_misses
+    evictions[0] = evicted0
+    writebacks[0] = evicted0
+    fetches[0] = n_misses
+    for k in range(1, n_finite):
+        through = sum(src_count[k + 1:])  # searched past this level
+        found = src_count[k]  # lookup_remove hits
+        accesses[k] = through + found
+        misses[k] = through
+        hits[k] = found
+        fetches[k] = through
+        # clen >= k: the cascade reached (and wrote back through) k.
+        bumped = sum(clen_count[k:])
+        writebacks[k] = bumped
+        evictions[k] = bumped
+    return MovementTrace(
+        workload=circuit.name or f"circuit-{circuit.n_qubits}q",
+        policy=policy,
+        depth=stack.depth,
+        capacities=tuple(level.capacity for level in stack.levels),
+        gate_ec=program.gate_ec_tuple,
+        gate_nmiss=tuple(gate_nmiss),
+        miss_src=tuple(miss_src),
+        miss_evict=tuple(miss_evict),
+        miss_clen=tuple(miss_clen),
+        fetches=tuple(fetches),
+        writebacks=tuple(writebacks),
+        bottom_hits=src_count[bottom],
+        level_accesses=tuple(accesses),
+        level_hits=tuple(hits),
+        level_misses=tuple(misses),
+        level_evictions=tuple(evictions),
+        final_occupancy=tuple(occupancy),
+        total_ec=program.total_ec,
+    )
+
+
+def _extract_generic(
+    stack: HierarchyStack,
+    circuit: Circuit,
+    policy: str,
+    program: _ScanProgram,
+) -> MovementTrace:
+    """Extraction through the real policy objects (any registered
+    policy).  Identical event stream to ``_run_reservation`` with the
+    port arithmetic deleted."""
+    bottom = stack.depth - 1
+    trace = program.trace
+    caches = [
+        PolicyCache(level.capacity, make_policy(policy), trace)
+        for level in stack.levels[:-1]
+    ]
+    n_finite = len(caches)
+    fetches = [0] * n_finite
+    writebacks = [0] * n_finite
+    bottom_hits = 0
+    location = {q: bottom for q in program.touched}
+    gate_nmiss: List[int] = []
+    miss_src: List[int] = []
+    miss_evict: List[int] = []
+    miss_clen: List[int] = []
+    pos = 0
+    for qubits in program.gate_qubits:
+        nmiss = 0
+        issued: Set[int] = set()
+        for q in qubits:
+            src = location[q]
+            if src == 0:
+                caches[0].access_evicting(q, pos)  # guaranteed hit
+                issued.add(q)
+                pos += 1
+                continue
+            for k in range(1, src):
+                caches[k].record_miss()
+            if src == bottom:
+                bottom_hits += 1
+            else:
+                caches[src].lookup_remove(q, pos)
+            for k in range(src - 1, 0, -1):
+                fetches[k] += 1
+            _, evicted = caches[0].access_evicting(q, pos, issued)
+            location[q] = 0
+            issued.add(q)
+            fetches[0] += 1
+            clen = 0
+            if evicted is not None:
+                writebacks[0] += 1
+                location[evicted] = 1
+                victim = evicted
+                lvl = 1
+                while lvl < bottom:
+                    bumped = caches[lvl].insert(victim, pos)
+                    if bumped is None:
+                        break
+                    writebacks[lvl] += 1
+                    location[bumped] = lvl + 1
+                    victim = bumped
+                    lvl += 1
+                    clen += 1
+            miss_src.append(src)
+            miss_evict.append(1 if evicted is not None else 0)
+            miss_clen.append(clen)
+            nmiss += 1
+            pos += 1
+        gate_nmiss.append(nmiss)
+
+    stats = [cache.stats for cache in caches]
+    return _trace_from_state(
+        stack,
+        circuit,
+        policy,
+        program,
+        gate_nmiss,
+        miss_src,
+        miss_evict,
+        miss_clen,
+        fetches,
+        writebacks,
+        bottom_hits,
+        [s.accesses for s in stats],
+        [s.hits for s in stats],
+        [s.misses for s in stats],
+        [s.evictions for s in stats],
+        location,
+    )
+
+
+# ----------------------------------------------------------------------
+# pricing
+# ----------------------------------------------------------------------
+
+def _check_geometry(trace: MovementTrace, stack: HierarchyStack) -> None:
+    if stack.depth != trace.depth or (
+        tuple(level.capacity for level in stack.levels) != trace.capacities
+    ):
+        raise ValueError(
+            "stack geometry does not match the movement trace: the "
+            f"trace was extracted at depth {trace.depth} / capacities "
+            f"{trace.capacities}, the pricing stack is depth "
+            f"{stack.depth} / capacities "
+            f"{tuple(lv.capacity for lv in stack.levels)} — traffic is "
+            "only invariant across stacks of equal shape"
+        )
+
+
+def price_movement_trace(
+    trace: MovementTrace, stack: HierarchyStack
+) -> HierarchyEngineResult:
+    """Replay ``trace`` against one stack's codes and port widths.
+
+    Reproduces the greedy reservation arithmetic exactly: one plain
+    float heap of lane free-times per network (the reference server's
+    lane/version entries only tie-break equal floats, which are
+    interchangeable), ``start = max(free, ready)``, lanes held through
+    ``start + duration + hold``.  Every output float is bit-identical
+    to :func:`~repro.sim.levels.simulate_hierarchy_run` on the same
+    cell.
+    """
+    _check_geometry(trace, stack)
+    networks = stack.networks()
+    demote = [net.demote_time_s for net in networks]
+    promote = [net.promote_time_s for net in networks]
+    heaps = [[0.0] * max(1, round(net.effective_concurrency)) for net in networks]
+    heapreplace = heapq.heapreplace
+    top_op = stack.levels[0].op_time_s
+    d0 = demote[0]
+    p0 = promote[0]
+    h0 = heaps[0]
+    misses = zip(trace.miss_src, trace.miss_evict, trace.miss_clen)
+    next_miss = misses.__next__
+    compute_free = 0.0
+    transfer_wait = 0.0
+    compute_time = 0.0
+    for ec, nmiss in zip(trace.gate_ec, trace.gate_nmiss):
+        duration = ec * top_op
+        compute_time += duration
+        if not nmiss:
+            # No arrivals: start = max(compute_free, 0.0) is just
+            # compute_free (times never go negative).
+            compute_free += duration
+            continue
+        arrivals = 0.0
+        for _ in range(nmiss):
+            src, ev, clen = next_miss()
+            prev = 0.0
+            if src > 1:
+                # Depth 3 dominates real grids: unroll its single hop.
+                if src == 2:
+                    h = heaps[1]
+                    free = h[0]
+                    prev = (free if free > 0.0 else 0.0) + demote[1]
+                    heapreplace(h, prev)
+                else:
+                    for k in range(src - 1, 0, -1):
+                        h = heaps[k]
+                        free = h[0]
+                        start = free if free > prev else prev
+                        prev = start + demote[k]
+                        heapreplace(h, prev)
+            free = h0[0]
+            start = free if free > prev else prev
+            arrival = start + d0
+            if ev:
+                # The paired write-back holds the arrival port
+                # (busy = start + demote + promote = arrival + promote,
+                # matching the reference's left-associated sum).
+                available = arrival + p0
+                heapreplace(h0, available)
+                if clen == 1:
+                    h = heaps[1]
+                    free = h[0]
+                    start2 = free if free > available else available
+                    heapreplace(h, start2 + promote[1])
+                elif clen:
+                    for lvl in range(1, clen + 1):
+                        h = heaps[lvl]
+                        free = h[0]
+                        start2 = free if free > available else available
+                        available = start2 + promote[lvl]
+                        heapreplace(h, available)
+            else:
+                heapreplace(h0, arrival)
+            if arrival > arrivals:
+                arrivals = arrival
+        start = compute_free if compute_free > arrivals else arrivals
+        if arrivals > compute_free:
+            transfer_wait += arrivals - compute_free
+        compute_free = start + duration
+
+    return _result_from_trace(trace, stack, compute_free, compute_time, transfer_wait)
+
+
+def _result_from_trace(
+    trace: MovementTrace,
+    stack: HierarchyStack,
+    total_time: float,
+    compute_time: float,
+    transfer_wait: float,
+) -> HierarchyEngineResult:
+    level_stats = [
+        LevelStat(
+            name=level.name,
+            capacity=level.capacity,
+            accesses=trace.level_accesses[i],
+            hits=trace.level_hits[i],
+            misses=trace.level_misses[i],
+            evictions=trace.level_evictions[i],
+            final_occupancy=trace.final_occupancy[i],
+        )
+        for i, level in enumerate(stack.levels[:-1])
+    ]
+    bottom_level = stack.levels[-1]
+    level_stats.append(LevelStat(
+        name=bottom_level.name,
+        capacity=None,
+        accesses=trace.bottom_hits,
+        hits=trace.bottom_hits,
+        misses=0,
+        evictions=0,
+        final_occupancy=trace.final_occupancy[-1],
+    ))
+    serial_bottom = trace.total_ec * bottom_level.op_time_s
+    return HierarchyEngineResult(
+        workload=trace.workload,
+        policy=trace.policy,
+        depth=stack.depth,
+        total_time_s=total_time,
+        serial_bottom_time_s=serial_bottom,
+        compute_time_s=compute_time,
+        transfer_wait_s=transfer_wait,
+        level_stats=tuple(level_stats),
+        fetches=tuple(trace.fetches),
+        writebacks=tuple(trace.writebacks),
+    )
+
+
+def price_movement_trace_batch(
+    trace: MovementTrace,
+    stacks: Sequence[HierarchyStack],
+    engine: str = "auto",
+) -> List[HierarchyEngineResult]:
+    """Price one movement trace across many stacks in one pass.
+
+    ``engine`` selects the arithmetic backend: ``"scalar"`` loops
+    :func:`price_movement_trace` per stack, ``"numpy"`` vectorizes
+    every port reservation across all configurations at once (one
+    ``(configs, max_lanes)`` free-time array per network, inf-padded
+    for narrower configs), ``"auto"`` picks numpy from
+    :data:`BATCH_NUMPY_THRESHOLD` configs up.  All backends are
+    bit-identical: the vector ops are the same IEEE-754 additions and
+    max/argmin selections the scalar heap performs.
+    """
+    if engine not in ("auto", "scalar", "numpy"):
+        raise ValueError(
+            f"unknown pricing engine {engine!r}; use 'auto', 'scalar' "
+            "or 'numpy'"
+        )
+    stacks = list(stacks)
+    for stack in stacks:
+        _check_geometry(trace, stack)
+    if engine == "auto":
+        engine = "numpy" if len(stacks) >= BATCH_NUMPY_THRESHOLD else "scalar"
+    if engine == "scalar":
+        return [price_movement_trace(trace, stack) for stack in stacks]
+    return _price_batch_numpy(trace, stacks)
+
+
+def _price_batch_numpy(
+    trace: MovementTrace, stacks: List[HierarchyStack]
+) -> List[HierarchyEngineResult]:
+    import numpy as np
+
+    n_cfg = len(stacks)
+    n_nets = trace.depth - 1
+    demote = np.empty((n_nets, n_cfg))
+    promote = np.empty((n_nets, n_cfg))
+    lanes = [[0] * n_cfg for _ in range(n_nets)]
+    for c, stack in enumerate(stacks):
+        for k, net in enumerate(stack.networks()):
+            demote[k, c] = net.demote_time_s
+            promote[k, c] = net.promote_time_s
+            lanes[k][c] = max(1, round(net.effective_concurrency))
+    # One (configs, lanes) free-time array per network; configs with
+    # fewer lanes are padded with +inf so argmin never selects a lane
+    # that does not exist.
+    free_t = []
+    for k in range(n_nets):
+        width = max(lanes[k])
+        arr = np.full((n_cfg, width), np.inf)
+        for c in range(n_cfg):
+            arr[c, : lanes[k][c]] = 0.0
+        free_t.append(arr)
+    top_op = np.array([stack.levels[0].op_time_s for stack in stacks])
+    rows = np.arange(n_cfg)
+
+    def reserve(k: int, ready, duration, hold=None):
+        """The greedy reservation, vectorized across configs.
+
+        Returns the per-config start times.  ``argmin`` picks each
+        config's earliest-free lane (ties are interchangeable — equal
+        floats), exactly the scalar heap's pop-min.
+        """
+        arr = free_t[k]
+        lane = arr.argmin(axis=1)
+        free = arr[rows, lane]
+        start = np.maximum(free, ready)
+        busy = start + duration
+        if hold is not None:
+            busy = busy + hold
+        arr[rows, lane] = busy
+        return start
+
+    d0 = demote[0]
+    p0 = promote[0]
+    zero = np.zeros(n_cfg)
+    compute_free = np.zeros(n_cfg)
+    transfer_wait = np.zeros(n_cfg)
+    compute_time = np.zeros(n_cfg)
+    msrc = trace.miss_src
+    mev = trace.miss_evict
+    mcl = trace.miss_clen
+    mi = 0
+    for ec, nmiss in zip(trace.gate_ec, trace.gate_nmiss):
+        arrivals = zero
+        for _ in range(nmiss):
+            src = msrc[mi]
+            ev = mev[mi]
+            clen = mcl[mi]
+            mi += 1
+            prev = zero
+            for k in range(src - 1, 0, -1):
+                start = reserve(k, prev, demote[k])
+                prev = start + demote[k]
+            if ev:
+                start = reserve(0, prev, d0, p0)
+                arrival = start + d0
+                available = arrival + p0
+                for lvl in range(1, clen + 1):
+                    start2 = reserve(lvl, available, promote[lvl])
+                    available = start2 + promote[lvl]
+            else:
+                start = reserve(0, prev, d0)
+                arrival = start + d0
+            arrivals = np.maximum(arrivals, arrival)
+        start = np.maximum(compute_free, arrivals)
+        delta = arrivals - compute_free
+        # Adding 0.0 where there was no wait preserves bits (the
+        # accumulators never go negative, so x + 0.0 == x exactly).
+        transfer_wait += np.where(delta > 0.0, delta, 0.0)
+        duration = ec * top_op
+        compute_free = start + duration
+        compute_time = compute_time + duration
+
+    return [
+        _result_from_trace(
+            trace,
+            stack,
+            float(compute_free[c]),
+            float(compute_time[c]),
+            float(transfer_wait[c]),
+        )
+        for c, stack in enumerate(stacks)
+    ]

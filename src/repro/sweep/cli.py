@@ -27,16 +27,26 @@ that exhaust their attempts (durable failure record, shard still exits
 0).  ``status`` reports quarantined cells; ``merge --allow-missing``
 degrades gracefully, emitting the rows that exist plus a failure
 footer instead of refusing the whole table.
+
+Performance: ``run --batched`` / ``resume --batched`` (engine grids
+only) executes each *traffic group* — cells differing only in priced
+axes such as ``code_pairs`` — as one unit: the movement trace is
+simulated once and re-priced per member, with stored records
+bit-identical to the per-cell path.  Group-aware sharding keeps whole
+groups on one worker.  ``--profile`` wraps the shard in cProfile and
+drops a ``.pstats`` dump next to the store directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import sys
+from contextlib import contextmanager
 from dataclasses import asdict
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..perf.store import ResultStore
 from ..perf.supervise import RetryPolicy, Supervision, TooManyFailures
@@ -161,6 +171,69 @@ def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--batched",
+        action="store_true",
+        help="engine grids only: simulate each traffic group once and "
+        "re-price every member (bit-identical records, one group = one "
+        "unit of work and of sharding)",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile this invocation with cProfile and write a .pstats "
+        "dump next to the store directory",
+    )
+
+
+def _batch_from_args(args: argparse.Namespace):
+    """``(BatchSpec, shard group_key)`` under ``--batched``, else ``(None, None)``.
+
+    The traffic/price factorization is a property of the engine design
+    space (replacement traffic is code-agnostic for reservation-model
+    cells), so ``--batched`` with any other kernel is a usage error,
+    not a silent fall-back.
+    """
+    if not getattr(args, "batched", False):
+        return None, None
+    if args.kernel != "engine_cell":
+        raise SystemExit(
+            f"--batched only applies to engine_cell grids "
+            f"(got --kernel {args.kernel})"
+        )
+    from ..core import design_space
+
+    def group_key(cell):
+        return design_space.engine_traffic_key(cell.as_dict())
+
+    return design_space.engine_batch_spec(), group_key
+
+
+@contextmanager
+def _maybe_profile(args: argparse.Namespace, label: str) -> Iterator[None]:
+    """cProfile the wrapped block under ``--profile``.
+
+    The dump lands *next to* the store directory (a sibling file, never
+    inside it) so profiling artifacts can't perturb the record set a
+    ``merge`` or ``diff -r`` inspects.
+    """
+    if not getattr(args, "profile", False):
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        store_dir = Path(args.store)
+        path = store_dir.parent / f"{store_dir.name}-profile-{label}.pstats"
+        profiler.dump_stats(path)
+        print(f"profile: {path}")
+
+
 def _supervision_from_args(args: argparse.Namespace) -> Optional[Supervision]:
     """A :class:`Supervision` spec iff any fault-tolerance flag was given.
 
@@ -255,19 +328,22 @@ def _grid_from_args(args: argparse.Namespace) -> Grid:
 def _cmd_run(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
     index, count = parse_shard_spec(args.shard)
-    shard = grid.shard(index, count)
+    batch, group_key = _batch_from_args(args)
+    shard = grid.shard(index, count, group_key=group_key)
     store = ResultStore(args.store)
     before = store.status(shard.keys())
     fn, row_type = kernel_registry()[grid.kernel]
     try:
-        compute_grid(
-            shard,
-            fn,
-            row_type,
-            store=store,
-            workers=args.workers,
-            supervise=_supervision_from_args(args),
-        )
+        with _maybe_profile(args, f"shard{index}of{count}"):
+            compute_grid(
+                shard,
+                fn,
+                row_type,
+                store=store,
+                workers=args.workers,
+                supervise=_supervision_from_args(args),
+                batch=batch,
+            )
     except TooManyFailures as exc:
         print(f"shard {index}/{count} aborted: {exc}", file=sys.stderr)
         return 1
@@ -283,18 +359,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
+    batch, _ = _batch_from_args(args)
     store = ResultStore(args.store)
     before = store.status(grid.keys())
     fn, row_type = kernel_registry()[grid.kernel]
     try:
-        compute_grid(
-            grid,
-            fn,
-            row_type,
-            store=store,
-            workers=args.workers,
-            supervise=_supervision_from_args(args),
-        )
+        with _maybe_profile(args, "resume"):
+            compute_grid(
+                grid,
+                fn,
+                row_type,
+                store=store,
+                workers=args.workers,
+                supervise=_supervision_from_args(args),
+                batch=batch,
+            )
     except TooManyFailures as exc:
         print(f"resume aborted: {exc}", file=sys.stderr)
         return 1
@@ -414,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None, metavar="N")
     _add_grid_options(run)
     _add_supervision_options(run)
+    _add_execution_options(run)
     run.set_defaults(fn=_cmd_run)
 
     resume = sub.add_parser(
@@ -423,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--workers", type=int, default=None, metavar="N")
     _add_grid_options(resume)
     _add_supervision_options(resume)
+    _add_execution_options(resume)
     resume.set_defaults(fn=_cmd_resume)
 
     status = sub.add_parser("status", help="report stored vs missing cells")

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..perf.memo import stable_key
 
@@ -98,19 +98,41 @@ class Grid:
         """Record keys in canonical enumeration order."""
         return [cell.key for cell in self.cells]
 
-    def shard(self, index: int, count: int) -> "Grid":
+    def shard(
+        self,
+        index: int,
+        count: int,
+        group_key: Optional[Callable[[Cell], Optional[str]]] = None,
+    ) -> "Grid":
         """The sub-grid a worker owns under a ``count``-way partition.
 
         Cells keep their canonical relative order; every cell of the
         grid lands in exactly one shard for any ``count``.
+
+        ``group_key`` makes the partition group-aware: cells mapping to
+        the same token are hashed by that token instead of their own
+        key, so a whole work group (e.g. one traffic group of the
+        batched engine sweep) always lands in one shard and is never
+        split across workers.  Cells whose token is ``None`` fall back
+        to their own key.  Determinism is unchanged — the assignment is
+        still a pure function of (token, count).
         """
         if not 0 <= index < count:
             raise ValueError(
                 f"shard index must satisfy 0 <= i < K (got {index}/{count})"
             )
-        owned = tuple(
-            cell for cell in self.cells if shard_index(cell.key, count) == index
-        )
+        if group_key is None:
+            owned = tuple(
+                cell
+                for cell in self.cells
+                if shard_index(cell.key, count) == index
+            )
+        else:
+            owned = tuple(
+                cell
+                for cell in self.cells
+                if shard_index(group_key(cell) or cell.key, count) == index
+            )
         return Grid(self.kernel, owned)
 
     def shard_sizes(self, count: int) -> List[int]:

@@ -27,8 +27,8 @@ absent or corrupt, unless ``allow_missing=True`` degrades gracefully
 
 from __future__ import annotations
 
-from dataclasses import asdict
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..perf import chaos
 from ..perf.parallel import parallel_indexed
@@ -62,6 +62,49 @@ class CellFailed(RuntimeError):
         )
 
 
+@dataclass(frozen=True)
+class BatchSpec:
+    """How a grid's cells group into shared-work batches.
+
+    ``group_key`` maps one cell's parameter dict to a stable group
+    token, or ``None`` for cells that must run individually through the
+    per-cell kernel.  ``fn`` is the group kernel: it takes the member
+    parameter dicts of one group (in canonical grid order) and returns
+    one row per member, same order.  Both must be module-level
+    (picklable) so groups can run in pool workers.
+    """
+
+    group_key: Callable[[Dict[str, Any]], Optional[str]]
+    fn: Callable[[Tuple[Dict[str, Any], ...]], List[Any]]
+
+
+@dataclass(frozen=True)
+class _BatchKernel:
+    """Picklable dispatcher for batched work items.
+
+    A work item is ``("cell", params)`` or ``("group", (params, ...))``;
+    both return a *list* of rows so the runner maps results back
+    uniformly.  Chaos faults fire per member — a scripted fault aimed
+    at any one cell of a group poisons (and on retry, re-poisons) the
+    whole group, which is the unit of supervised work.
+    """
+
+    cell_fn: Callable[[Dict[str, Any]], Any]
+    group_fn: Callable[[Tuple[Dict[str, Any], ...]], List[Any]]
+
+    def __call__(self, item: Tuple[str, Any]) -> List[Any]:
+        kind, payload = item
+        plan = chaos.active_plan()
+        if kind == "cell":
+            if plan is not None:
+                plan.before_cell(payload)
+            return [self.cell_fn(payload)]
+        if plan is not None:
+            for params in payload:
+                plan.before_cell(params)
+        return list(self.group_fn(payload))
+
+
 def _row_from_record(row_type: Type, value: Any) -> Optional[Any]:
     """Rebuild a row dataclass from a stored record value, or None.
 
@@ -85,6 +128,7 @@ def compute_grid(
     store=None,
     workers: Optional[int] = None,
     supervise: Optional[Supervision] = None,
+    batch: Optional[BatchSpec] = None,
 ) -> List[Any]:
     """Rows for every grid cell, reading through ``store`` when given.
 
@@ -108,6 +152,15 @@ def compute_grid(
     raises.  With the default :class:`Supervision` (one attempt, no
     deadline) fault-free output is bit-identical to the unsupervised
     path.
+
+    ``batch`` (a :class:`BatchSpec`) groups cells that share work: each
+    group is *one* unit of execution — one pool task, one supervised
+    attempt (a transient fault retries only its group, charged once),
+    one per-group deadline scaled by member count — while the store
+    still receives one record per member cell, so memo keys, resume,
+    quarantine and ``merge --verify`` are unaffected.  A terminal group
+    failure quarantines every member, each failure record naming the
+    full membership under ``"group_members"``.
     """
     resolved: Optional[ResultStore] = resolve_store(store)
     cells = list(grid)
@@ -120,45 +173,173 @@ def compute_grid(
                 rows[position] = row
                 continue
         todo.append(position)
-    fn = chaos.wrap_if_active(fn)
-    params_list = [cells[position].as_dict() for position in todo]
     written: Dict[str, Any] = {}
     try:
-        # Completion order, not input order: each finished cell is
-        # persisted immediately, never queued behind a slower one.
-        if supervise is None:
-            for offset, row in parallel_indexed(fn, params_list, workers=workers):
-                position = todo[offset]
-                rows[position] = row
-                if resolved is not None:
-                    written[cells[position].key] = _persist(
-                        resolved, cells[position], row
-                    )
-        else:
-            outcomes = supervised_indexed(
-                fn, params_list, workers=workers, supervision=supervise
+        if batch is None:
+            _run_cells(
+                grid,
+                fn,
+                cells,
+                todo,
+                rows,
+                resolved,
+                written,
+                workers=workers,
+                supervise=supervise,
             )
-            for outcome in outcomes:
-                position = todo[outcome.index]
-                cell = cells[position]
-                if outcome.ok:
-                    rows[position] = outcome.value
-                    if resolved is not None:
-                        written[cell.key] = _persist(resolved, cell, outcome.value)
-                    continue
-                if not supervise.quarantine:
-                    raise CellFailed(cell, outcome.failure)
-                if resolved is not None:
-                    resolved.put_failure(
-                        cell.key,
-                        outcome.failure.as_record(),
-                        kernel=cell.kernel,
-                        params=cell.as_dict(),
-                    )
+        else:
+            _run_batched(
+                grid,
+                fn,
+                batch,
+                cells,
+                todo,
+                rows,
+                resolved,
+                written,
+                workers=workers,
+                supervise=supervise,
+            )
     finally:
         if resolved is not None and written:
             resolved.index_add(written)
     return rows
+
+
+def _run_cells(
+    grid: Grid,
+    fn: Callable[[Dict[str, Any]], Any],
+    cells: List[Cell],
+    todo: List[int],
+    rows: List[Any],
+    resolved: Optional[ResultStore],
+    written: Dict[str, Any],
+    *,
+    workers: Optional[int],
+    supervise: Optional[Supervision],
+) -> None:
+    """The per-cell execution loop of :func:`compute_grid`."""
+    fn = chaos.wrap_if_active(fn)
+    params_list = [cells[position].as_dict() for position in todo]
+    # Completion order, not input order: each finished cell is
+    # persisted immediately, never queued behind a slower one.
+    if supervise is None:
+        for offset, row in parallel_indexed(fn, params_list, workers=workers):
+            position = todo[offset]
+            rows[position] = row
+            if resolved is not None:
+                written[cells[position].key] = _persist(resolved, cells[position], row)
+        return
+    outcomes = supervised_indexed(
+        fn, params_list, workers=workers, supervision=supervise
+    )
+    for outcome in outcomes:
+        position = todo[outcome.index]
+        cell = cells[position]
+        if outcome.ok:
+            rows[position] = outcome.value
+            if resolved is not None:
+                written[cell.key] = _persist(resolved, cell, outcome.value)
+            continue
+        if not supervise.quarantine:
+            raise CellFailed(cell, outcome.failure)
+        if resolved is not None:
+            resolved.put_failure(
+                cell.key,
+                outcome.failure.as_record(),
+                kernel=cell.kernel,
+                params=cell.as_dict(),
+            )
+
+
+def _run_batched(
+    grid: Grid,
+    fn: Callable[[Dict[str, Any]], Any],
+    batch: BatchSpec,
+    cells: List[Cell],
+    todo: List[int],
+    rows: List[Any],
+    resolved: Optional[ResultStore],
+    written: Dict[str, Any],
+    *,
+    workers: Optional[int],
+    supervise: Optional[Supervision],
+) -> None:
+    """The grouped execution loop of :func:`compute_grid`.
+
+    Work items are whole groups (first-appearance order, members in
+    canonical grid order); unbatchable cells (``group_key`` None) ride
+    along as singleton ``("cell", params)`` items through the same
+    pipeline, so one sweep can mix both kinds.
+    """
+    items: List[Tuple[str, Any]] = []
+    members: List[List[int]] = []
+    group_slots: Dict[str, int] = {}
+    for position in todo:
+        params = cells[position].as_dict()
+        token = batch.group_key(params)
+        if token is None:
+            items.append(("cell", params))
+            members.append([position])
+            continue
+        slot = group_slots.get(token)
+        if slot is None:
+            group_slots[token] = len(items)
+            items.append(("group", [params]))
+            members.append([position])
+        else:
+            items[slot][1].append(params)
+            members[slot].append(position)
+    items = [
+        (kind, tuple(payload) if kind == "group" else payload)
+        for kind, payload in items
+    ]
+    kernel = _BatchKernel(cell_fn=fn, group_fn=batch.fn)
+
+    def emit(offset: int, group_rows: Sequence[Any]) -> None:
+        positions = members[offset]
+        if len(group_rows) != len(positions):
+            raise ValueError(
+                f"batch kernel returned {len(group_rows)} rows for a "
+                f"{len(positions)}-cell group of the {grid.kernel} grid"
+            )
+        for position, row in zip(positions, group_rows):
+            rows[position] = row
+            if resolved is not None:
+                written[cells[position].key] = _persist(resolved, cells[position], row)
+
+    if supervise is None:
+        for offset, group_rows in parallel_indexed(kernel, items, workers=workers):
+            emit(offset, group_rows)
+        return
+    outcomes = supervised_indexed(
+        kernel,
+        items,
+        workers=workers,
+        supervision=supervise,
+        weights=[float(len(positions)) for positions in members],
+    )
+    for outcome in outcomes:
+        positions = members[outcome.index]
+        if outcome.ok:
+            emit(outcome.index, outcome.value)
+            continue
+        if not supervise.quarantine:
+            raise CellFailed(cells[positions[0]], outcome.failure)
+        if resolved is None:
+            continue
+        # One failure record per member, each naming the whole group:
+        # a quarantined group must be diagnosable from any of its cells.
+        record = outcome.failure.as_record()
+        record["group_members"] = [cells[p].key for p in positions]
+        for position in positions:
+            cell = cells[position]
+            resolved.put_failure(
+                cell.key,
+                record,
+                kernel=cell.kernel,
+                params=cell.as_dict(),
+            )
 
 
 def _persist(store: ResultStore, cell: Cell, row: Any) -> Dict[str, Any]:

@@ -1,0 +1,148 @@
+"""Property pins for the traffic/price factorization and the fast DES.
+
+Two invariants carry the whole batched-sweep design:
+
+* **Traffic invariance** — reservation-model replacement traffic is a
+  function of geometry (capacities, depth), policy, and the gate trace
+  alone.  Stacks that differ only in code assignment (which codes
+  encode which levels, how many parallel transfer channels) must
+  produce the *byte-identical* serialized movement trace, which is why
+  one simulation can be re-priced across the whole code axis.
+* **Pricing exactness** — replaying that trace through the re-pricer
+  must equal the direct simulator with ``==`` on every row field (the
+  floats come out of the same arithmetic, not a tolerance away from
+  it), for both the scalar and the numpy batch engines.
+
+Plus the split-transaction pin: the flattened event loop
+(:mod:`repro.sim.fastsplit`) dispatched by ``simulate_hierarchy_run``
+is held bit-identical to the retained reference across a policy ×
+prefetcher × stack matrix.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits.workloads import build_workload
+from repro.sim.cache import simulate_optimized
+from repro.sim.levels import (
+    mixed_stack,
+    simulate_hierarchy_run,
+    simulate_hierarchy_run_audited,
+    standard_stack,
+)
+from repro.sim.policies import available_policies
+from repro.sim.prefetch import available_prefetchers
+from repro.sim.replay import (
+    extract_movement_trace,
+    price_movement_trace_batch,
+)
+
+
+def _code_variants(depth, compute_qubits, cache_factor, parallel_transfers):
+    """Every code assignment of one fixed geometry."""
+    kwargs = dict(depth=depth, compute_qubits=compute_qubits,
+                  cache_factor=cache_factor,
+                  parallel_transfers=parallel_transfers)
+    return [
+        standard_stack("steane", **kwargs),
+        standard_stack("bacon_shor", **kwargs),
+        mixed_stack("steane", "bacon_shor", **kwargs),
+        mixed_stack("bacon_shor", "steane", **kwargs),
+    ]
+
+
+def _random_cases(count, seed=2006):
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(count):
+        cases.append(dict(
+            workload=rng.choice(["draper_adder", "qft", "modexp_trace"]),
+            n_bits=rng.choice([12, 16, 24, 32]),
+            depth=rng.choice([2, 3, 4]),
+            compute_qubits=rng.choice([8, 12, 17]),
+            cache_factor=rng.choice([1.0, 1.5]),
+            parallel_transfers=rng.choice([5, 10]),
+            policy=rng.choice(available_policies()),
+        ))
+    return cases
+
+
+class TestTrafficInvariance:
+    @pytest.mark.parametrize("case", _random_cases(10),
+                             ids=lambda c: f"{c['workload']}-{c['n_bits']}-"
+                                           f"d{c['depth']}-{c['policy']}")
+    def test_trace_bytes_and_pricing_exact(self, case):
+        circuit = build_workload(case["workload"], case["n_bits"])
+        stacks = _code_variants(case["depth"], case["compute_qubits"],
+                                case["cache_factor"],
+                                case["parallel_transfers"])
+        order = simulate_optimized(
+            circuit, stacks[0].levels[0].capacity
+        ).order
+        traces = [
+            extract_movement_trace(stack, circuit, case["policy"],
+                                   order=order)
+            for stack in stacks
+        ]
+        blobs = {trace.to_bytes() for trace in traces}
+        assert len(blobs) == 1, "movement trace depends on code assignment"
+
+        direct = [
+            simulate_hierarchy_run(stack, circuit, case["policy"],
+                                   order=order)
+            for stack in stacks
+        ]
+        scalar = price_movement_trace_batch(traces[0], stacks,
+                                            engine="scalar")
+        assert scalar == direct
+
+    def test_numpy_engine_exact(self):
+        # One case through the vectorized pricer, above the auto
+        # threshold: replicating the stack list must replicate the rows
+        # exactly — the numpy path is arithmetic-identical, not close.
+        circuit = build_workload("draper_adder", 24)
+        stacks = _code_variants(3, 12, 1.0, 10) * 16
+        order = simulate_optimized(
+            circuit, stacks[0].levels[0].capacity
+        ).order
+        trace = extract_movement_trace(stacks[0], circuit, "lru",
+                                       order=order)
+        batched = price_movement_trace_batch(trace, stacks, engine="numpy")
+        direct = [
+            simulate_hierarchy_run(stack, circuit, "lru", order=order)
+            for stack in stacks
+        ]
+        assert batched == direct
+
+
+class TestFastSplitEquivalence:
+    """The flattened split-transaction loop vs the retained reference."""
+
+    CASES = [
+        ("draper_adder", 48, 2), ("draper_adder", 48, 3), ("qft", 32, 3),
+    ]
+
+    @pytest.mark.parametrize("policy", available_policies())
+    @pytest.mark.parametrize("prefetch", available_prefetchers())
+    @pytest.mark.parametrize("workload,n_bits,depth", CASES)
+    def test_bit_identical_to_reference(self, workload, n_bits, depth,
+                                        policy, prefetch):
+        circuit = build_workload(workload, n_bits)
+        for stack in (
+            standard_stack("steane", depth, compute_qubits=12),
+            mixed_stack("bacon_shor", "steane", depth=depth,
+                        compute_qubits=12),
+        ):
+            order = simulate_optimized(
+                circuit, stack.levels[0].capacity
+            ).order
+            fast = simulate_hierarchy_run(
+                stack, circuit, policy, order=order, prefetch=prefetch,
+                pipeline=True,
+            )
+            reference, _ = simulate_hierarchy_run_audited(
+                stack, circuit, policy, order=order, prefetch=prefetch,
+                pipeline=True,
+            )
+            assert fast == reference
