@@ -263,6 +263,131 @@ def _bench_batched_scaling_overhead(alternations: int = 3):
     return run
 
 
+def _bench_trace_cache_warm_speedup(alternations: int = 2):
+    """The persistent trace cache payoff on a batched engine sweep, as a
+    speedup ratio (cold / warm).  Both arms run the identical grid
+    through ``compute_grid(batch=engine_batch_spec(trace_cache=...))``;
+    the cold arm points at an empty cache directory (every traffic
+    group is scheduled and simulated, then persisted), the warm arm at
+    a populated one (every group loads as a verified blob — zero
+    traffic simulation, pure pricing).  One large traffic group keeps
+    the cold-only costs (fetch scheduling + traffic simulation)
+    dominant over the pricing both arms share, which is exactly the
+    regime the cache exists for.  The rows are pinned bit-identical
+    elsewhere; this kernel times the payoff and gates the acceptance
+    floor (``SPEEDUP_FLOORS``)."""
+    import shutil
+    import tempfile
+
+    from repro.core.design_space import (
+        EngineRow,
+        _fetch_order,
+        engine_batch_spec,
+        engine_cell,
+        engine_grid,
+    )
+    from repro.sweep.runner import compute_grid
+
+    grid = engine_grid(workloads=("draper_adder",), sizes=(1024,),
+                       depths=(3,), policies=("lru",),
+                       prefetches=("none",),
+                       code_keys=("steane", "bacon_shor"))
+
+    def run():
+        warm_dir = tempfile.mkdtemp(prefix="bench-trace-warm-")
+        try:
+            warm_spec = engine_batch_spec(trace_cache=warm_dir)
+            compute_grid(grid, engine_cell, EngineRow, batch=warm_spec)
+            cold = warm = None
+            for _ in range(alternations):
+                cold_dir = tempfile.mkdtemp(prefix="bench-trace-cold-")
+                try:
+                    # A fresh sweep pays for scheduling too, so the
+                    # cold arm must not inherit the fetch-order cache
+                    # the warm-up pass just filled.
+                    _fetch_order.cache_clear()
+                    t0 = time.perf_counter()
+                    compute_grid(grid, engine_cell, EngineRow,
+                                 batch=engine_batch_spec(
+                                     trace_cache=cold_dir))
+                    elapsed = time.perf_counter() - t0
+                finally:
+                    shutil.rmtree(cold_dir, ignore_errors=True)
+                cold = elapsed if cold is None else min(cold, elapsed)
+                t0 = time.perf_counter()
+                compute_grid(grid, engine_cell, EngineRow, batch=warm_spec)
+                elapsed = time.perf_counter() - t0
+                warm = elapsed if warm is None else min(warm, elapsed)
+            return cold / warm
+        finally:
+            shutil.rmtree(warm_dir, ignore_errors=True)
+
+    return run
+
+
+def _bench_multi_group_pricing_speedup(alternations: int = 3):
+    """Whole-grid one-pass pricing vs per-group batched pricing, as a
+    speedup ratio (per-group / multi) over a realistic engine grid
+    slice: four traffic groups (one per eviction policy) each priced
+    across 32 configurations (eight transfer widths x four code
+    stacks).  Both arms price the same prebuilt traces —
+    ``price_movement_trace_batch`` per group vs one
+    ``price_movement_traces_multi`` padded-batch pass over all four —
+    and the multi engine is pinned ``==``-identical elsewhere; this
+    kernel times the padding payoff and gates its floor."""
+    from repro.circuits.workloads import build_workload
+    from repro.core.design_space import (
+        ENGINE_CACHE_FACTOR,
+        ENGINE_COMPUTE_QUBITS,
+        _engine_stack,
+        _fetch_order,
+    )
+    from repro.sim.replay import (
+        extract_movement_trace,
+        price_movement_trace_batch,
+        price_movement_traces_multi,
+    )
+
+    n_bits, depth = 256, 3
+    policies = ("lru", "belady", "fifo", "score")
+    widths = (3, 4, 6, 8, 10, 12, 16, 20)
+    codes = (("steane", "steane"), ("steane", "bacon_shor"),
+             ("bacon_shor", "steane"), ("bacon_shor", "bacon_shor"))
+    circuit = build_workload("draper_adder", n_bits)
+    order = _fetch_order("draper_adder", n_bits, ENGINE_COMPUTE_QUBITS,
+                         ENGINE_CACHE_FACTOR)
+    groups = []
+    for policy in policies:
+        configs = [
+            dict(workload="draper_adder", n_bits=n_bits, depth=depth,
+                 policy=policy, parallel_transfers=width, code_key=ck,
+                 memory_code_key=mk, prefetch="none",
+                 compute_qubits=ENGINE_COMPUTE_QUBITS,
+                 cache_factor=ENGINE_CACHE_FACTOR)
+            for width in widths for ck, mk in codes
+        ]
+        stacks = [_engine_stack(params) for params in configs]
+        trace = extract_movement_trace(stacks[0], circuit, policy,
+                                       order=order)
+        groups.append((trace, stacks))
+
+    def run():
+        grouped = multi = None
+        for _ in range(alternations):
+            t0 = time.perf_counter()
+            for trace, stacks in groups:
+                price_movement_trace_batch(trace, stacks)
+            elapsed = time.perf_counter() - t0
+            grouped = elapsed if grouped is None else min(grouped, elapsed)
+            t0 = time.perf_counter()
+            price_movement_traces_multi(groups, engine="numpy")
+            elapsed = time.perf_counter() - t0
+            multi = elapsed if multi is None else min(multi, elapsed)
+        return grouped / multi
+
+    return run
+
+
 def _bench_specialization_sweep():
     from repro.core.design_space import specialization_sweep
 
@@ -394,6 +519,9 @@ def kernel_set(quick: bool):
                 _bench_batched_codepairs_speedup(),
             "batched_codepairs_scaling_overhead":
                 _bench_batched_scaling_overhead(),
+            "trace_cache_warm_speedup": _bench_trace_cache_warm_speedup(),
+            "multi_group_pricing_speedup":
+                _bench_multi_group_pricing_speedup(),
         }
     return {
         "fetch_optimized_256": _bench_fetch(256),
@@ -411,6 +539,9 @@ def kernel_set(quick: bool):
             _bench_batched_codepairs_speedup(),
         "batched_codepairs_scaling_overhead":
             _bench_batched_scaling_overhead(),
+        "trace_cache_warm_speedup": _bench_trace_cache_warm_speedup(),
+        "multi_group_pricing_speedup":
+            _bench_multi_group_pricing_speedup(),
     }
 
 
@@ -491,14 +622,18 @@ OVERHEAD_SLACK = 0.05
 
 #: Absolute floors for ``*_speedup`` ratio kernels (PR acceptance
 #: criteria, not baseline-relative drift limits): the replay engine
-#: must stay >= 5x the retained reference on the policy cell, and the
-#: batched sweep must stay >= 2x the per-cell path on a four-config
-#: traffic group.  Ratios are machine-independent, so the floors gate
-#: directly — falling below one means the factorization stopped paying
-#: for itself, whatever the baseline says.
+#: must stay >= 5x the retained reference on the policy cell, the
+#: batched sweep >= 2x the per-cell path on a four-config traffic
+#: group, a warm trace cache >= 5x a cold batched sweep, and
+#: whole-grid multi-trace pricing >= 1.5x per-group batched pricing.
+#: Ratios are machine-independent, so the floors gate directly —
+#: falling below one means the factorization (or the cache) stopped
+#: paying for itself, whatever the baseline says.
 SPEEDUP_FLOORS = {
     "engine_replay_speedup": 5.0,
     "batched_vs_percell_codepairs_speedup": 2.0,
+    "trace_cache_warm_speedup": 5.0,
+    "multi_group_pricing_speedup": 1.5,
 }
 
 #: Absolute ceilings overriding the drift budget for ``*_overhead``

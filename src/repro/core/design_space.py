@@ -564,18 +564,19 @@ def engine_traffic_key(params: Mapping[str, Any]) -> Optional[str]:
     return stable_key("engine_traffic", **traffic)
 
 
-def engine_batch_cell(group: Sequence[Mapping[str, Any]]) -> List[EngineRow]:
-    """Rows for one traffic group of engine cells, from one extraction.
+def _group_trace(group: Sequence[Mapping[str, Any]], trace_cache=None):
+    """One traffic group's (trace, stacks), extracting or cache-loading.
 
-    Every member must share the same :func:`engine_traffic_key` — the
-    replacement machinery runs once against the group's shared
-    geometry, then :func:`repro.sim.replay.price_movement_trace_batch`
-    replays the movement trace across every member's codes and port
-    widths.  Each row is bit-identical to :func:`engine_cell` on the
-    same parameters.  Module-level so worker processes can pickle it.
+    Validates that every member shares one :func:`engine_traffic_key`,
+    builds each member's stack, and produces the group's movement trace
+    — from the ``trace_cache`` (a :class:`repro.perf.tracecache.
+    TraceCache`) when it holds a verified blob under the group's
+    :func:`repro.sim.replay.trace_key`, by running the replacement
+    simulation otherwise (persisting the result for every later shard,
+    resume, and run).
     """
     from ..circuits.workloads import build_workload
-    from ..sim.replay import extract_movement_trace, price_movement_trace_batch
+    from ..sim.replay import extract_movement_trace, trace_key
 
     first = group[0]
     key = engine_traffic_key(first)
@@ -590,29 +591,124 @@ def engine_batch_cell(group: Sequence[Mapping[str, Any]]) -> List[EngineRow]:
                 "engine_batch_cell group members must share one "
                 "traffic key (the shard planner groups by it)"
             )
-    circuit = build_workload(first["workload"], first["n_bits"])
-    order = _fetch_order(
-        first["workload"], first["n_bits"],
-        first["compute_qubits"], first["cache_factor"],
-    )
     stacks = [_engine_stack(params) for params in group]
-    trace = extract_movement_trace(
-        stacks[0], circuit, first["policy"], order=order
+
+    def extract():
+        circuit = build_workload(first["workload"], first["n_bits"])
+        order = _fetch_order(
+            first["workload"], first["n_bits"],
+            first["compute_qubits"], first["cache_factor"],
+        )
+        return extract_movement_trace(
+            stacks[0], circuit, first["policy"], order=order
+        )
+
+    if trace_cache is None:
+        return extract(), stacks
+    blob_key = trace_key(
+        key, stacks[0].depth, [lvl.capacity for lvl in stacks[0].levels[:-1]]
     )
+    return trace_cache.load_or_extract(blob_key, extract), stacks
+
+
+def engine_batch_cell(
+    group: Sequence[Mapping[str, Any]], trace_cache=None
+) -> List[EngineRow]:
+    """Rows for one traffic group of engine cells, from one extraction.
+
+    Every member must share the same :func:`engine_traffic_key` — the
+    replacement machinery runs once against the group's shared
+    geometry (or is loaded from ``trace_cache``), then
+    :func:`repro.sim.replay.price_movement_trace_batch` replays the
+    movement trace across every member's codes and port widths.  Each
+    row is bit-identical to :func:`engine_cell` on the same
+    parameters.  Module-level so worker processes can pickle it.
+    """
+    from ..sim.replay import price_movement_trace_batch
+
+    trace, stacks = _group_trace(group, trace_cache)
     runs = price_movement_trace_batch(trace, stacks)
     return [_engine_row(params, run) for params, run in zip(group, runs)]
 
 
-def engine_batch_spec():
+def engine_grid_cells(
+    groups: Sequence[Sequence[Mapping[str, Any]]], trace_cache=None
+) -> List[List[EngineRow]]:
+    """Row lists for many traffic groups, priced in one grid pass.
+
+    All traces are extracted (or loaded from ``trace_cache``) first,
+    then :func:`repro.sim.replay.price_movement_traces_multi` prices
+    every (group x config) cell in a single vectorized sweep — pinned
+    bit-identical to mapping :func:`engine_batch_cell` over the groups.
+    """
+    from ..sim.replay import price_movement_traces_multi
+
+    prepared = [_group_trace(group, trace_cache) for group in groups]
+    priced = price_movement_traces_multi(prepared)
+    return [
+        [_engine_row(params, run) for params, run in zip(group, runs)]
+        for group, runs in zip(groups, priced)
+    ]
+
+
+@dataclass(frozen=True)
+class _EngineBatchKernel:
+    """Picklable per-group engine kernel bound to a trace-cache dir.
+
+    Pool workers reconstruct the :class:`TraceCache` from the directory
+    string on every call — the cache object itself holds a lock and is
+    not picklable, and per-call construction keeps the durable
+    ``stats.json`` tally correct across processes.
+    """
+
+    trace_cache_dir: Optional[str] = None
+
+    def _cache(self):
+        if self.trace_cache_dir is None:
+            return None
+        from ..perf.tracecache import TraceCache
+
+        return TraceCache(self.trace_cache_dir)
+
+    def __call__(self, group: Sequence[Mapping[str, Any]]) -> List[EngineRow]:
+        return engine_batch_cell(group, trace_cache=self._cache())
+
+
+@dataclass(frozen=True)
+class _EngineGridKernel(_EngineBatchKernel):
+    """Picklable whole-grid engine kernel bound to a trace-cache dir."""
+
+    def __call__(
+        self, groups: Sequence[Sequence[Mapping[str, Any]]]
+    ) -> List[List[EngineRow]]:
+        return engine_grid_cells(groups, trace_cache=self._cache())
+
+
+def engine_batch_spec(trace_cache=None):
     """The engine grid's :class:`repro.sweep.runner.BatchSpec`.
 
     Pass it as ``compute_grid(..., batch=engine_batch_spec())`` (or use
     ``engine_sweep(batched=True)`` / the CLI's ``--batched``) to group
     batchable cells by traffic key and price each group in one pass.
+    On serial unsupervised runs the spec's grid mode prices *all*
+    groups in one :func:`engine_grid_cells` call.
+
+    ``trace_cache`` (anything
+    :func:`repro.perf.tracecache.resolve_trace_cache` accepts) makes
+    every group's movement trace a durable shared artifact: a warm
+    cache turns repeated and resumed sweeps into pure pricing runs with
+    zero traffic simulation.
     """
+    from ..perf.tracecache import resolve_trace_cache
     from ..sweep.runner import BatchSpec
 
-    return BatchSpec(group_key=engine_traffic_key, fn=engine_batch_cell)
+    resolved = resolve_trace_cache(trace_cache)
+    directory = None if resolved is None else str(resolved.directory)
+    return BatchSpec(
+        group_key=engine_traffic_key,
+        fn=_EngineBatchKernel(directory),
+        grid_fn=_EngineGridKernel(directory),
+    )
 
 
 def _normalize_code_pairs(
@@ -717,6 +813,7 @@ def engine_sweep(
     store=None,
     supervise=None,
     batched: bool = False,
+    trace_cache=None,
 ) -> List[EngineRow]:
     """Evaluate the generalized engine over its design axes.
 
@@ -736,7 +833,13 @@ def engine_sweep(
     ``batched=True`` simulates each traffic group once and re-prices
     its members together (see :func:`engine_batch_cell`) — bit-identical
     rows and store records, much cheaper wide ``code_pairs`` axes.
+    ``trace_cache`` (with ``batched=True``; see
+    :func:`repro.perf.tracecache.resolve_trace_cache` for accepted
+    values) persists each group's movement trace, so a re-run or
+    resume with a warm cache performs zero traffic simulation.
     """
+    if trace_cache is not None and not batched:
+        raise ValueError("trace_cache requires batched=True")
     if policies is None:
         from ..sim.policies import available_policies
 
@@ -768,7 +871,7 @@ def engine_sweep(
     rows = compute_grid(
         grid, engine_cell, EngineRow,
         store=store, workers=workers, supervise=supervise,
-        batch=engine_batch_spec() if batched else None,
+        batch=engine_batch_spec(trace_cache) if batched else None,
     )
     if memo is not None and all(row is not None for row in rows):
         memo.put(key, [asdict(row) for row in rows])

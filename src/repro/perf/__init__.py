@@ -13,7 +13,11 @@ the generic accelerators they share:
 * :mod:`repro.perf.store` — a durable, content-addressed result store
   (atomic per-cell JSON records, ``flock``-guarded index) that sharded
   sweep workers on many hosts fill concurrently and ``merge`` reads
-  back; its on-disk layout is ``REPRO_CACHE_DIR``-compatible;
+  back; its on-disk layout is :class:`SweepCache`-compatible;
+* :mod:`repro.perf.tracecache` — a persistent, content-addressed cache
+  of serialized movement traces (verified, corrupt-tolerant blobs with
+  durable hit/miss counters), so repeated and resumed engine sweeps
+  skip traffic simulation entirely;
 * :mod:`repro.perf.supervise` — a fault-tolerant executor over the
   pool: retry with deterministic backoff, per-cell wall-clock deadlines
   (hung workers are reaped), ``BrokenProcessPool`` recovery, and
@@ -23,13 +27,17 @@ the generic accelerators they share:
   hang/exit/corrupt faults, reproducible across processes).
 
 All are policy-free: callers pass ``cache=`` / ``workers=`` / ``store=``
-/ ``supervise=`` knobs and get identical numeric results either way.
+/ ``supervise=`` / ``trace_cache=`` knobs and get identical numeric
+results either way.  Under a shared ``REPRO_CACHE_DIR`` root each layer
+owns its own namespace — ``memo/`` for the file cache, ``traces/`` for
+trace blobs, ``store/`` (by convention) for result stores.
 """
 
 from .chaos import ChaosFault, ChaosPlan, ChaosTransientError, Fault
 from .memo import SweepCache, default_cache, resolve_cache, stable_key
 from .parallel import parallel_iter, parallel_map
 from .store import ResultStore, StoreStatus, atomic_write_text, resolve_store
+from .tracecache import TraceCache, default_trace_cache, resolve_trace_cache
 from .supervise import (
     CellFailure,
     CellOutcome,
@@ -55,13 +63,16 @@ __all__ = [
     "Supervision",
     "SweepCache",
     "TooManyFailures",
+    "TraceCache",
     "WorkerCrash",
     "atomic_write_text",
     "default_cache",
+    "default_trace_cache",
     "parallel_iter",
     "parallel_map",
     "resolve_cache",
     "resolve_store",
+    "resolve_trace_cache",
     "stable_key",
     "supervised_indexed",
 ]

@@ -36,8 +36,16 @@ from .store import atomic_write_text
 #: Bump to invalidate every previously persisted entry (format changes).
 CACHE_FORMAT_VERSION = 1
 
-#: Environment variable naming the default on-disk cache directory.
+#: Environment variable naming the default on-disk cache root.  The
+#: memo cache owns the ``memo/`` subdirectory; the trace cache owns
+#: ``traces/`` and result stores conventionally use ``store/`` (see
+#: :mod:`repro.perf.tracecache`), so the three key spaces can never
+#: collide.  Explicitly constructed caches still use exactly the
+#: directory they are given.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory of ``REPRO_CACHE_DIR`` owned by the memo file cache.
+MEMO_SUBDIR = "memo"
 
 
 def _code_version() -> str:
@@ -185,11 +193,19 @@ _default_lock = threading.Lock()
 
 
 def default_cache() -> SweepCache:
-    """Process-wide cache; disk tier enabled iff ``REPRO_CACHE_DIR`` set."""
+    """Process-wide cache; disk tier enabled iff ``REPRO_CACHE_DIR`` set.
+
+    The disk tier lives under ``$REPRO_CACHE_DIR/memo`` — the memo
+    layer's namespace within the shared cache root — never the root
+    itself, so memo entries, trace blobs (``traces/``) and result
+    stores (``store/``) cannot collide.
+    """
     global _default
     with _default_lock:
         if _default is None:
-            _default = SweepCache(directory=os.environ.get(CACHE_DIR_ENV))
+            root = os.environ.get(CACHE_DIR_ENV)
+            directory = Path(root) / MEMO_SUBDIR if root else None
+            _default = SweepCache(directory=directory)
         return _default
 
 

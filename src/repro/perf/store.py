@@ -33,11 +33,14 @@ Design points:
   Failures never shadow results — ``status`` reports them as
   failed-and-missing, ``resume`` recomputes them, and a success clears
   them — so quarantine is visible without ever poisoning a merge.
-* **``REPRO_CACHE_DIR``-compatible layout.**  Records are
-  ``<key>.json`` files whose top-level ``"value"`` field holds the
-  payload — exactly the layout :class:`repro.perf.memo.SweepCache`
-  persists — so a :class:`SweepCache` pointed at a store directory
-  warm-reads its records, and vice versa.
+* **``SweepCache``-compatible layout.**  Records are ``<key>.json``
+  files whose top-level ``"value"`` field holds the payload — exactly
+  the layout :class:`repro.perf.memo.SweepCache` persists — so a
+  :class:`SweepCache` pointed at a store directory warm-reads its
+  records, and vice versa.  Within a shared ``REPRO_CACHE_DIR`` root,
+  stores conventionally live under the ``store/`` subdirectory (the
+  memo cache owns ``memo/``, the trace cache ``traces/``), so the
+  three key spaces stay disjoint by construction.
 """
 
 from __future__ import annotations

@@ -20,7 +20,19 @@ module exploits it:
 * :func:`price_movement_trace_batch` prices the trace across **many**
   stacks at once — scalar per config below
   :data:`BATCH_NUMPY_THRESHOLD` configs, a vectorized numpy pass (one
-  ``(configs, lanes)`` array per network) above it.
+  ``(configs, lanes)`` array per network) above it;
+* :func:`price_movement_traces_multi` prices **many traces** — one per
+  traffic group, each against its own stacks — in a single pass: the
+  variable-length miss and gate streams are padded into one numpy
+  batch whose columns are all (group x config) cells of the grid, so
+  the per-step interpreter overhead is paid once for the whole design
+  space instead of once per group;
+* :func:`trace_key` / :meth:`MovementTrace.from_bytes` round-trip a
+  trace through a content-addressed blob (see
+  :class:`repro.perf.tracecache.TraceCache`): the key folds the
+  traffic identity, the stack geometry and
+  :data:`TRACE_FORMAT_VERSION`, so a layout change can only ever miss,
+  never decode stale bytes wrongly.
 
 The extraction has two implementations: a *specialized* flattened loop
 for the four shipped eviction policies (dict-as-recency-order, an
@@ -40,6 +52,7 @@ mixed policies with shared state, noise-coupled residency costs).
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import json
 import math
@@ -59,10 +72,14 @@ from .policies import PolicyCache, make_policy, validate_policy
 
 __all__ = [
     "BATCH_NUMPY_THRESHOLD",
+    "MULTI_NUMPY_THRESHOLD",
     "MovementTrace",
+    "TRACE_FORMAT_VERSION",
     "extract_movement_trace",
     "price_movement_trace",
     "price_movement_trace_batch",
+    "price_movement_traces_multi",
+    "trace_key",
 ]
 
 _INF = math.inf
@@ -75,6 +92,18 @@ _SPECIALIZED_POLICIES = frozenset({"lru", "fifo", "score", "belady"})
 #: loop (numpy pays a fixed per-event overhead that only amortizes
 #: across enough configurations).
 BATCH_NUMPY_THRESHOLD = 32
+
+#: Total (group x config) cell count at which the one-pass multi-trace
+#: pricer overtakes per-group pricing.  Its per-step masking overhead
+#: is paid once for *all* columns, but it is higher than one group's
+#: per-step cost, so tiny grids stay on the per-group engines.
+MULTI_NUMPY_THRESHOLD = 24
+
+#: Serialization version of :meth:`MovementTrace.to_bytes` blobs.
+#: Folded into every :func:`trace_key`, so a layout change invalidates
+#: persisted traces (a cache miss and re-extraction) instead of ever
+#: decoding them under the wrong schema.
+TRACE_FORMAT_VERSION = 1
 
 
 # ----------------------------------------------------------------------
@@ -239,9 +268,79 @@ class MovementTrace:
             payload, sort_keys=True, separators=(",", ":")
         ).encode("ascii")
 
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MovementTrace":
+        """Rebuild a trace from its :meth:`to_bytes` serialization.
+
+        Strict by construction: after reconstructing the dataclass the
+        round-trip ``to_bytes()`` must reproduce ``blob`` exactly, so a
+        blob with missing/extra/retyped fields (e.g. written by a
+        different layout, or bit-flipped into other valid JSON) raises
+        :class:`ValueError` instead of yielding a trace that prices
+        differently.  Cache layers treat that error as a miss.
+        """
+        try:
+            payload = json.loads(blob.decode("ascii"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ValueError(f"not a serialized MovementTrace: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("not a serialized MovementTrace: not an object")
+        tuple_fields = (
+            "capacities", "gate_ec", "gate_nmiss", "miss_src", "miss_evict",
+            "miss_clen", "fetches", "writebacks", "level_accesses",
+            "level_hits", "level_misses", "level_evictions",
+            "final_occupancy",
+        )
+        fields = dict(payload)
+        for name in tuple_fields:
+            value = fields.get(name)
+            if not isinstance(value, list):
+                raise ValueError(
+                    f"not a serialized MovementTrace: field {name!r} is "
+                    "missing or not a list"
+                )
+            fields[name] = tuple(value)
+        try:
+            trace = cls(**fields)
+        except TypeError as exc:
+            raise ValueError(f"not a serialized MovementTrace: {exc}") from exc
+        if trace.to_bytes() != blob:
+            raise ValueError(
+                "not a canonical MovementTrace serialization (field types "
+                "or ordering differ from to_bytes output)"
+            )
+        return trace
+
     @property
     def n_misses(self) -> int:
         return len(self.miss_src)
+
+
+def trace_key(
+    traffic_token: str,
+    depth: int,
+    capacities: Sequence[Optional[int]],
+) -> str:
+    """Content address of one movement trace in a trace cache.
+
+    ``traffic_token`` is the traffic-group identity (the engine grid
+    passes :func:`repro.core.design_space.engine_traffic_key`, which
+    already folds every traffic axis plus the package version); depth
+    and per-level capacities pin the stack geometry the trace was
+    extracted against, and :data:`TRACE_FORMAT_VERSION` pins the blob
+    layout — bumping it orphans (never misreads) old blobs.
+    """
+    payload = json.dumps(
+        {
+            "v": TRACE_FORMAT_VERSION,
+            "traffic": traffic_token,
+            "depth": depth,
+            "capacities": list(capacities),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:40]
 
 
 # ----------------------------------------------------------------------
@@ -1075,3 +1174,308 @@ def _price_batch_numpy(
         )
         for c, stack in enumerate(stacks)
     ]
+
+
+def price_movement_traces_multi(
+    groups: Sequence[Tuple[MovementTrace, Sequence[HierarchyStack]]],
+    engine: str = "auto",
+) -> List[List[HierarchyEngineResult]]:
+    """Price many traffic groups' traces in one pass over the grid.
+
+    ``groups`` pairs each movement trace with the stacks it prices
+    (every stack must match its trace's geometry); the return value is
+    one result list per group, in order — exactly
+    ``[price_movement_trace_batch(t, s) for t, s in groups]``, and
+    pinned bit-identical to it.
+
+    ``engine="grouped"`` runs that per-group loop; ``"numpy"`` pads the
+    variable-length miss and gate streams into one structured batch
+    whose columns are *all* (group x config) cells and replays them in
+    a single vectorized pass (see :func:`_price_multi_numpy`), so the
+    whole design space pays the per-step interpreter overhead once
+    instead of once per traffic group; ``"auto"`` picks the one-pass
+    engine from :data:`MULTI_NUMPY_THRESHOLD` total cells (and at
+    least two groups) up.
+    """
+    if engine not in ("auto", "grouped", "numpy"):
+        raise ValueError(
+            f"unknown pricing engine {engine!r}; use 'auto', 'grouped' "
+            "or 'numpy'"
+        )
+    prepared: List[Tuple[MovementTrace, List[HierarchyStack]]] = []
+    for trace, stacks in groups:
+        stacks = list(stacks)
+        for stack in stacks:
+            _check_geometry(trace, stack)
+        prepared.append((trace, stacks))
+    n_cells = sum(len(stacks) for _, stacks in prepared)
+    if engine == "auto":
+        pooled = len(prepared) >= 2 and n_cells >= MULTI_NUMPY_THRESHOLD
+        engine = "numpy" if pooled else "grouped"
+    if engine == "grouped" or n_cells == 0:
+        return [
+            price_movement_trace_batch(trace, stacks)
+            for trace, stacks in prepared
+        ]
+    return _price_multi_numpy(prepared)
+
+
+def _price_multi_numpy(
+    prepared: List[Tuple[MovementTrace, List[HierarchyStack]]],
+) -> List[List[HierarchyEngineResult]]:
+    """One vectorized pass over every (group x config) cell.
+
+    Columns are all configs of all groups side by side; each group's
+    miss and gate streams are zero-padded to the longest group's
+    (``src == 0`` marks a padded miss, ``ec == 0`` a padded gate — both
+    are exact no-ops on every accumulator, so padding never perturbs a
+    bit).  Groups are mutually independent — no port array or register
+    is shared across columns — so executing step ``m`` of every group
+    simultaneously preserves each column's exact reservation order, and
+    every per-column float op is the same IEEE-754 add/max/argmin the
+    per-group engines perform: results are bit-identical to
+    :func:`price_movement_trace_batch`.
+
+    The port phase never reads the compute clock (reservations depend
+    only on earlier reservations), so the pass factorizes into a
+    miss-stream phase that scatters per-gate arrival maxima and a
+    gate-stream phase that replays the compute_free/transfer_wait scan
+    — each a single loop over the *longest* group's stream instead of
+    one loop per group.
+    """
+    import numpy as np
+
+    n_groups = len(prepared)
+    col_group: List[int] = []
+    all_stacks: List[HierarchyStack] = []
+    for g, (_, stacks) in enumerate(prepared):
+        col_group.extend([g] * len(stacks))
+        all_stacks.extend(stacks)
+    n_cols = len(all_stacks)
+    cg = np.asarray(col_group, dtype=np.intp)
+    n_nets = max(trace.depth for trace, _ in prepared) - 1
+
+    demote = np.zeros((n_nets, n_cols))
+    promote = np.zeros((n_nets, n_cols))
+    lanes = [[1] * n_cols for _ in range(n_nets)]
+    for c, stack in enumerate(all_stacks):
+        for k, net in enumerate(stack.networks()):
+            demote[k, c] = net.demote_time_s
+            promote[k, c] = net.promote_time_s
+            lanes[k][c] = max(1, round(net.effective_concurrency))
+    # One (columns, lanes) free-time array per network, inf-padded for
+    # narrower configs; columns of shallower stacks simply never touch
+    # the networks beyond their depth.
+    free_t = []
+    for k in range(n_nets):
+        width = max(lanes[k])
+        arr = np.full((n_cols, width), np.inf)
+        for c in range(n_cols):
+            arr[c, : lanes[k][c]] = 0.0
+        free_t.append(arr)
+    top_op = np.array([stack.levels[0].op_time_s for stack in all_stacks])
+
+    max_misses = max(trace.n_misses for trace, _ in prepared)
+    max_gates = max(len(trace.gate_ec) for trace, _ in prepared)
+    src_g = np.zeros((max_misses, n_groups), dtype=np.int64)
+    evcl_g = np.zeros((max_misses, n_groups), dtype=np.int64)
+    ec_g = np.zeros((max_gates, n_groups), dtype=np.int64)
+    for g, (trace, _) in enumerate(prepared):
+        n_miss = trace.n_misses
+        src_g[:n_miss, g] = trace.miss_src
+        # evict and cascade length fold into one operand: a cascade
+        # only exists under an eviction, so clen >= 1 implies evict,
+        # and evict-without-cascade is encoded as clen == 0 with the
+        # evict bit carried separately below via the sign-free split
+        # evcl = evict + clen (evict in {0,1}, so evcl == 0 iff no
+        # eviction, and the cascade reached level lvl iff
+        # evcl - 1 >= lvl).
+        evict = np.asarray(trace.miss_evict, dtype=np.int64)
+        evcl_g[:n_miss, g] = evict + np.asarray(trace.miss_clen, dtype=np.int64)
+        ec_g[: len(trace.gate_ec), g] = trace.gate_ec
+    # Expand the per-group streams to per-column matrices once, so the
+    # hot loops index views instead of paying a fancy gather per step.
+    src_c = src_g[:, cg]
+    evcl_c = evcl_g[:, cg]
+    durations = ec_g[:, cg] * top_op
+
+    # Pre-masked per-step operands for the all-active fast path below.
+    # ``d_eff[k][m]`` is each column's hop-k demote time, already
+    # zeroed where the column's miss does not hop through network k;
+    # ``hop_f``/``casc_f`` are the same masks as exact 0.0/1.0 factors.
+    # ``*_any[m]`` says whether any group fires the block at step m, so
+    # empty blocks are skipped without a per-column scan.
+    hop_f = [None] * n_nets
+    d_eff = [None] * n_nets
+    casc_f = [None] * n_nets
+    p_eff = [None] * n_nets
+    hop_any = [None] * n_nets
+    casc_any = [None] * n_nets
+    for k in range(1, n_nets):
+        hmask = src_c > k
+        hop_f[k] = hmask.astype(np.float64)
+        d_eff[k] = demote[k] * hop_f[k]
+        cmask = evcl_c > k
+        casc_f[k] = cmask.astype(np.float64)
+        p_eff[k] = promote[k] * casc_f[k]
+        hop_any[k] = (src_g > k).any(axis=1)
+        casc_any[k] = (evcl_g > k).any(axis=1)
+    p0_eff = promote[0] * (evcl_c > 0)
+
+    # ---- phase 1: the miss streams, all columns in lockstep ---------
+    # Each step's arrival vector lands in its own row; the per-gate
+    # arrival maxima fold out of the rows afterwards in one
+    # ``maximum.reduceat`` per group (max is exact and associative, so
+    # the segmented reduction reproduces the sequential fold bit for
+    # bit) — cheaper than a fancy-indexed scatter-max on every step.
+    arrival_rows = np.empty((max_misses, n_cols))
+    zeros_cols = np.zeros(n_cols)
+    prev_buf = np.empty(n_cols)
+    avail_buf = np.empty(n_cols)
+    flatnonzero = np.flatnonzero
+    maximum = np.maximum
+    rows = np.arange(n_cols)
+    d0 = demote[0]
+    p0 = promote[0]
+    arr0 = free_t[0]
+    # Steps below the shortest group's stream have every column active,
+    # so they run without index subsetting: masked operands make each
+    # op an exact identity on non-participating columns (prev == 0 at a
+    # skipped hop, so max(free, 0) + 0.0 writes ``free`` back; a masked
+    # avail of 0.0 does the same for a skipped cascade level).
+    min_misses = min(trace.n_misses for trace, _ in prepared)
+    for m in range(min_misses):
+        prev = zeros_cols
+        # Hop down: network k serves every column whose miss source
+        # lies above it (k <= src - 1), highest network first —
+        # exactly each column's scalar hop order.
+        for k in range(n_nets - 1, 0, -1):
+            if not hop_any[k][m]:
+                continue
+            arr = free_t[k]
+            lane = arr.argmin(axis=1)
+            free = arr[rows, lane]
+            busy = maximum(free, prev) + d_eff[k][m]
+            arr[rows, lane] = busy
+            prev = busy * hop_f[k][m]
+        lane = arr0.argmin(axis=1)
+        free = arr0[rows, lane]
+        arrival = maximum(free, prev) + d0
+        # The paired write-back holds the arrival port (the reference's
+        # left-associated start + demote + promote); a non-evicting
+        # miss adds an exact 0.0 instead, which preserves bits.
+        busy = arrival + p0_eff[m]
+        arr0[rows, lane] = busy
+        arrival_rows[m] = arrival
+        if n_nets > 1 and casc_any[1][m]:
+            avail = busy * casc_f[1][m]
+            for lvl in range(1, n_nets):
+                if not casc_any[lvl][m]:
+                    break
+                arr = free_t[lvl]
+                lane = arr.argmin(axis=1)
+                free = arr[rows, lane]
+                nxt = maximum(free, avail) + p_eff[lvl][m]
+                arr[rows, lane] = nxt
+                if lvl + 1 < n_nets:
+                    avail = nxt * casc_f[lvl + 1][m]
+    # The padded tail: shorter groups have run dry (src == 0), so ops
+    # subset down to the still-active columns.
+    for m in range(min_misses, max_misses):
+        src = src_c[m]
+        prev = prev_buf
+        avail = avail_buf
+        prev[:] = 0.0
+        # A zero row contributes nothing to any gate's arrival maximum
+        # (the accumulators never go negative), so inactive columns are
+        # exact no-ops in the segmented reduction below.
+        arrival_rows[m] = 0.0
+        for k in range(n_nets - 1, 0, -1):
+            idx = flatnonzero(src > k)
+            if idx.size == 0:
+                continue
+            arr = free_t[k]
+            lane = arr.argmin(axis=1)[idx]
+            start = maximum(arr[idx, lane], prev[idx])
+            busy = start + demote[k, idx]
+            arr[idx, lane] = busy
+            prev[idx] = busy
+        idx = flatnonzero(src)
+        if idx.size == 0:
+            continue
+        evcl = evcl_c[m]
+        lane = arr0.argmin(axis=1)[idx]
+        start = maximum(arr0[idx, lane], prev[idx])
+        arrival = start + d0[idx]
+        busy = arrival + p0[idx] * (evcl[idx] > 0)
+        arr0[idx, lane] = busy
+        avail[idx] = busy
+        arrival_rows[m][idx] = arrival
+        for lvl in range(1, n_nets):
+            idx = flatnonzero(evcl > lvl)
+            if idx.size == 0:
+                break
+            arr = free_t[lvl]
+            lane = arr.argmin(axis=1)[idx]
+            start2 = maximum(arr[idx, lane], avail[idx])
+            nxt = start2 + promote[lvl, idx]
+            arr[idx, lane] = nxt
+            avail[idx] = nxt
+
+    # Fold each gate's arrival maximum out of its miss rows.  A gate's
+    # misses occupy consecutive rows (``gate_nmiss`` counts them), so
+    # one segmented max per group reproduces the sequential per-miss
+    # fold exactly.  Trailing miss-free gates are left at zero rather
+    # than passed to ``reduceat`` (whose degenerate segments would read
+    # out of bounds); interior miss-free gates yield degenerate
+    # segments that are overwritten with the 0.0 the reference uses.
+    arrivals = np.zeros((max_gates, n_cols))
+    offset = 0
+    for trace, stacks in prepared:
+        sl = slice(offset, offset + len(stacks))
+        offset += len(stacks)
+        if trace.n_misses == 0:
+            continue
+        nmiss = np.asarray(trace.gate_nmiss, dtype=np.int64)
+        last = int(np.nonzero(nmiss)[0][-1])
+        starts = np.zeros(last + 1, dtype=np.int64)
+        np.cumsum(nmiss[:last], out=starts[1:])
+        seg = np.maximum.reduceat(
+            arrival_rows[: trace.n_misses, sl], starts, axis=0
+        )
+        seg[nmiss[: last + 1] == 0] = 0.0
+        arrivals[: last + 1, sl] = seg
+
+    # ---- phase 2: the gate streams, all columns in lockstep ---------
+    where = np.where
+    compute_free = np.zeros(n_cols)
+    transfer_wait = np.zeros(n_cols)
+    compute_time = np.zeros(n_cols)
+    for i in range(max_gates):
+        gate_arrivals = arrivals[i]
+        start = maximum(compute_free, gate_arrivals)
+        delta = gate_arrivals - compute_free
+        # Adding 0.0 where there was no wait preserves bits (the
+        # accumulators never go negative, so x + 0.0 == x exactly).
+        transfer_wait += where(delta > 0.0, delta, 0.0)
+        duration = durations[i]
+        compute_free = start + duration
+        compute_time = compute_time + duration
+
+    results: List[List[HierarchyEngineResult]] = []
+    c = 0
+    for trace, stacks in prepared:
+        group_rows = []
+        for stack in stacks:
+            group_rows.append(
+                _result_from_trace(
+                    trace,
+                    stack,
+                    float(compute_free[c]),
+                    float(compute_time[c]),
+                    float(transfer_wait[c]),
+                )
+            )
+            c += 1
+        results.append(group_rows)
+    return results

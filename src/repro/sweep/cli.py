@@ -33,8 +33,13 @@ only) executes each *traffic group* — cells differing only in priced
 axes such as ``code_pairs`` — as one unit: the movement trace is
 simulated once and re-priced per member, with stored records
 bit-identical to the per-cell path.  Group-aware sharding keeps whole
-groups on one worker.  ``--profile`` wraps the shard in cProfile and
-drops a ``.pstats`` dump next to the store directory.
+groups on one worker.  ``--trace-cache DIR`` additionally persists each
+group's movement trace as a verified, content-addressed blob shared
+across shards and across run→resume — a warm cache turns any engine
+sweep into a pure pricing pass with zero traffic simulation (the
+printed ``(N extractions)`` tally proves it; ``status --trace-cache``
+reports the cache-wide totals).  ``--profile`` wraps the shard in
+cProfile and drops a ``.pstats`` dump next to the store directory.
 """
 
 from __future__ import annotations
@@ -181,6 +186,14 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         "unit of work and of sharding)",
     )
     group.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="with --batched: persist each traffic group's movement trace "
+        "under DIR (shared across shards and run/resume), so a warm "
+        "re-run performs zero traffic simulation",
+    )
+    group.add_argument(
         "--profile",
         action="store_true",
         help="profile this invocation with cProfile and write a .pstats "
@@ -197,6 +210,11 @@ def _batch_from_args(args: argparse.Namespace):
     not a silent fall-back.
     """
     if not getattr(args, "batched", False):
+        if getattr(args, "trace_cache", None):
+            raise SystemExit(
+                "--trace-cache requires --batched (traces are artifacts "
+                "of the batched traffic/price factorization)"
+            )
         return None, None
     if args.kernel != "engine_cell":
         raise SystemExit(
@@ -208,7 +226,10 @@ def _batch_from_args(args: argparse.Namespace):
     def group_key(cell):
         return design_space.engine_traffic_key(cell.as_dict())
 
-    return design_space.engine_batch_spec(), group_key
+    return (
+        design_space.engine_batch_spec(getattr(args, "trace_cache", None)),
+        group_key,
+    )
 
 
 @contextmanager
@@ -232,6 +253,48 @@ def _maybe_profile(args: argparse.Namespace, label: str) -> Iterator[None]:
         path = store_dir.parent / f"{store_dir.name}-profile-{label}.pstats"
         profiler.dump_stats(path)
         print(f"profile: {path}")
+
+
+def _trace_cache_line(deltas: dict) -> str:
+    """The one-line hit/miss/bytes tally ``run``/``resume`` print.
+
+    The ``(N extractions)`` clause is load-bearing: the CI warm-sweep
+    job greps for ``(0 extractions)`` to prove a second invocation did
+    zero traffic simulation.
+    """
+    return (
+        f"trace cache: {deltas.get('hits', 0)} hits, "
+        f"{deltas.get('misses', 0)} misses "
+        f"({deltas.get('extractions', 0)} extractions), "
+        f"{deltas.get('bytes_read', 0)} bytes read, "
+        f"{deltas.get('bytes_written', 0)} bytes written"
+    )
+
+
+@contextmanager
+def _trace_cache_tally(args: argparse.Namespace) -> Iterator[None]:
+    """Print the run's trace-cache counter delta after the block.
+
+    Counters accumulate durably in the cache's ``stats.json`` (pool
+    workers and earlier runs included), so the delta across the block
+    is exactly this invocation's activity.
+    """
+    directory = getattr(args, "trace_cache", None)
+    if not directory:
+        yield
+        return
+    from ..perf.tracecache import TraceCache
+
+    cache = TraceCache(directory)
+    before = cache.read_stats()
+    try:
+        yield
+    finally:
+        after = cache.read_stats()
+        deltas = {
+            name: value - before.get(name, 0) for name, value in after.items()
+        }
+        print(_trace_cache_line(deltas))
 
 
 def _supervision_from_args(args: argparse.Namespace) -> Optional[Supervision]:
@@ -334,7 +397,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     before = store.status(shard.keys())
     fn, row_type = kernel_registry()[grid.kernel]
     try:
-        with _maybe_profile(args, f"shard{index}of{count}"):
+        with _trace_cache_tally(args), _maybe_profile(args, f"shard{index}of{count}"):
             compute_grid(
                 shard,
                 fn,
@@ -364,7 +427,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     before = store.status(grid.keys())
     fn, row_type = kernel_registry()[grid.kernel]
     try:
-        with _maybe_profile(args, "resume"):
+        with _trace_cache_tally(args), _maybe_profile(args, "resume"):
             compute_grid(
                 grid,
                 fn,
@@ -406,6 +469,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
                     else ""
                 )
             )
+    if getattr(args, "trace_cache", None):
+        from ..perf.tracecache import TraceCache
+
+        cache = TraceCache(args.trace_cache)
+        summary = cache.summary()
+        print(
+            f"trace cache {args.trace_cache}: {summary['entries']} blobs, "
+            f"{summary['entry_bytes']} bytes; lifetime "
+            + _trace_cache_line(summary)[len("trace cache: "):]
+        )
     _report_quarantine(store, grid)
     return 0 if overall.complete else 1
 
@@ -509,6 +582,13 @@ def build_parser() -> argparse.ArgumentParser:
     status = sub.add_parser("status", help="report stored vs missing cells")
     status.add_argument("--store", required=True, metavar="DIR")
     status.add_argument("--shards", type=int, default=None, metavar="K")
+    status.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="also report the trace cache at DIR (blob count/bytes and "
+        "the lifetime hit/miss tally)",
+    )
     _add_grid_options(status)
     status.set_defaults(fn=_cmd_status)
 

@@ -72,10 +72,23 @@ class BatchSpec:
     parameter dicts of one group (in canonical grid order) and returns
     one row per member, same order.  Both must be module-level
     (picklable) so groups can run in pool workers.
+
+    ``grid_fn`` is the optional whole-grid kernel: it takes *every*
+    group's member tuple at once and returns one row list per group
+    (same orders) — the engine's grid mode extracts or cache-loads all
+    movement traces first, then prices the entire (group x config) grid
+    in a single vectorized pass.  It must be bit-identical to mapping
+    ``fn`` over the groups; the runner engages it only on serial,
+    unsupervised runs (a process pool already spreads groups across
+    cores, and supervision retries/quarantines per group), so every
+    other execution mode is untouched.
     """
 
     group_key: Callable[[Dict[str, Any]], Optional[str]]
     fn: Callable[[Tuple[Dict[str, Any], ...]], List[Any]]
+    grid_fn: Optional[
+        Callable[[Tuple[Tuple[Dict[str, Any], ...], ...]], List[List[Any]]]
+    ] = None
 
 
 @dataclass(frozen=True)
@@ -160,7 +173,10 @@ def compute_grid(
     still receives one record per member cell, so memo keys, resume,
     quarantine and ``merge --verify`` are unaffected.  A terminal group
     failure quarantines every member, each failure record naming the
-    full membership under ``"group_members"``.
+    full membership under ``"group_members"``.  A spec with a
+    ``grid_fn`` additionally prices *all* groups in one whole-grid
+    kernel call on serial unsupervised runs (see :class:`BatchSpec`);
+    rows and records are pinned bit-identical either way.
     """
     resolved: Optional[ResultStore] = resolve_store(store)
     cells = list(grid)
@@ -307,6 +323,36 @@ def _run_batched(
             rows[position] = row
             if resolved is not None:
                 written[cells[position].key] = _persist(resolved, cells[position], row)
+
+    if (
+        batch.grid_fn is not None
+        and supervise is None
+        and workers in (None, 0, 1)
+    ):
+        # Grid mode: one whole-grid kernel call prices every group at
+        # once.  Chaos faults still fire per member (the same points
+        # the per-group dispatcher hits), so scripted-fault tests see
+        # identical behavior; singleton unbatchable cells ride through
+        # the ordinary dispatcher below.
+        offsets = [i for i, (kind, _) in enumerate(items) if kind == "group"]
+        if offsets:
+            plan = chaos.active_plan()
+            if plan is not None:
+                for offset in offsets:
+                    for params in items[offset][1]:
+                        plan.before_cell(params)
+            per_group = batch.grid_fn(tuple(items[i][1] for i in offsets))
+            if len(per_group) != len(offsets):
+                raise ValueError(
+                    f"grid kernel returned {len(per_group)} row lists "
+                    f"for {len(offsets)} groups of the {grid.kernel} grid"
+                )
+            for offset, group_rows in zip(offsets, per_group):
+                emit(offset, group_rows)
+        for offset, item in enumerate(items):
+            if item[0] == "cell":
+                emit(offset, kernel(item))
+        return
 
     if supervise is None:
         for offset, group_rows in parallel_indexed(kernel, items, workers=workers):

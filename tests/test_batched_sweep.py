@@ -153,6 +153,66 @@ class TestBatchedEquivalence:
         assert first == again
 
 
+class TestTraceCacheSweep:
+    """The persistent trace cache and whole-grid mode on real sweeps."""
+
+    def test_grid_mode_store_matches_per_group_mode(self, tmp_path):
+        # Serial unsupervised batched runs take the whole-grid pricing
+        # path (BatchSpec.grid_fn); pooled runs price per group.  Both
+        # must leave byte-identical record trees.
+        grid = engine_grid(**GRID_KWARGS)
+        grid_store = ResultStore(tmp_path / "grid")
+        pooled_store = ResultStore(tmp_path / "pooled")
+        rows_grid = compute_grid(grid, engine_cell, EngineRow,
+                                 store=grid_store, batch=engine_batch_spec())
+        rows_pooled = compute_grid(grid, engine_cell, EngineRow,
+                                   store=pooled_store, workers=2,
+                                   batch=engine_batch_spec())
+        assert rows_grid == rows_pooled
+        assert _record_bytes(grid_store) == _record_bytes(pooled_store)
+
+    def test_warm_cache_skips_extraction_and_is_bit_identical(self, tmp_path):
+        from repro.perf.tracecache import TraceCache
+
+        cache_dir = tmp_path / "traces"
+        grid = engine_grid(**GRID_KWARGS)
+        cold_store = ResultStore(tmp_path / "cold")
+        warm_store = ResultStore(tmp_path / "warm")
+        cold = compute_grid(grid, engine_cell, EngineRow, store=cold_store,
+                            batch=engine_batch_spec(trace_cache=cache_dir))
+        after_cold = TraceCache(cache_dir).read_stats()
+        assert after_cold["extractions"] > 0
+        assert len(TraceCache(cache_dir)) == after_cold["extractions"]
+        warm = compute_grid(grid, engine_cell, EngineRow, store=warm_store,
+                            batch=engine_batch_spec(trace_cache=cache_dir))
+        after_warm = TraceCache(cache_dir).read_stats()
+        # The warm run simulated nothing and loaded every group.
+        assert after_warm["extractions"] == after_cold["extractions"]
+        assert after_warm["hits"] == after_cold["hits"] + \
+            after_cold["extractions"]
+        assert cold == warm
+        assert _record_bytes(cold_store) == _record_bytes(warm_store)
+
+    def test_pooled_workers_share_the_cache(self, tmp_path):
+        from repro.perf.tracecache import TraceCache
+
+        cache_dir = tmp_path / "traces"
+        grid = engine_grid(**GRID_KWARGS)
+        compute_grid(grid, engine_cell, EngineRow, workers=2,
+                     batch=engine_batch_spec(trace_cache=cache_dir))
+        stats = TraceCache(cache_dir).read_stats()
+        # Pool workers flush their deltas into the shared stats.json.
+        assert stats["extractions"] == len(TraceCache(cache_dir)) > 0
+        compute_grid(grid, engine_cell, EngineRow, workers=2,
+                     batch=engine_batch_spec(trace_cache=cache_dir))
+        again = TraceCache(cache_dir).read_stats()
+        assert again["extractions"] == stats["extractions"]
+
+    def test_engine_sweep_trace_cache_requires_batched(self, tmp_path):
+        with pytest.raises(ValueError):
+            engine_sweep(trace_cache=tmp_path / "traces", **GRID_KWARGS)
+
+
 class TestGroupSupervision:
     def test_transient_group_fault_retried_once_per_attempt(self, tmp_path):
         # The fault poisons exactly one member cell of a three-member
@@ -263,6 +323,38 @@ class TestBatchedCli:
         assert _record_bytes(ResultStore(percell)) == _record_bytes(
             ResultStore(batched)
         )
+
+    def test_trace_cache_run_reports_warm_second_pass(self, tmp_path,
+                                                      capsys):
+        cache = str(tmp_path / "traces")
+        cold, warm = str(tmp_path / "cold"), str(tmp_path / "warm")
+        assert sweep_main(["run", "--shard", "0/1", "--store", cold,
+                           "--batched", "--trace-cache", cache,
+                           *GRID_ARGS]) == 0
+        cold_out = capsys.readouterr().out
+        assert "trace cache:" in cold_out
+        assert "(0 extractions)" not in cold_out
+        assert sweep_main(["run", "--shard", "0/1", "--store", warm,
+                           "--batched", "--trace-cache", cache,
+                           *GRID_ARGS]) == 0
+        warm_out = capsys.readouterr().out
+        # The warm pass loaded every group: zero simulations, and the
+        # record trees are byte-identical.
+        assert "(0 extractions)" in warm_out
+        assert "0 misses" in warm_out
+        assert _record_bytes(ResultStore(cold)) == _record_bytes(
+            ResultStore(warm)
+        )
+        assert sweep_main(["status", "--store", warm, "--trace-cache",
+                           cache, *GRID_ARGS]) == 0
+        status_out = capsys.readouterr().out
+        assert "blobs" in status_out and "lifetime" in status_out
+
+    def test_trace_cache_requires_batched(self, tmp_path):
+        with pytest.raises(SystemExit):
+            sweep_main(["run", "--shard", "0/1", "--store",
+                        str(tmp_path / "s"), "--trace-cache",
+                        str(tmp_path / "traces"), *GRID_ARGS])
 
     def test_batched_rejects_table_kernels(self, tmp_path):
         with pytest.raises(SystemExit):

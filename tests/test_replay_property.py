@@ -36,6 +36,7 @@ from repro.sim.prefetch import available_prefetchers
 from repro.sim.replay import (
     extract_movement_trace,
     price_movement_trace_batch,
+    price_movement_traces_multi,
 )
 
 
@@ -114,6 +115,72 @@ class TestTrafficInvariance:
             for stack in stacks
         ]
         assert batched == direct
+
+
+class TestMultiGroupPricing:
+    """Whole-grid one-pass pricing vs per-group batched pricing.
+
+    ``price_movement_traces_multi`` pads variable-length traces from
+    many traffic groups into one structured batch; every engine must
+    return rows ``==``-identical to ``price_movement_trace_batch`` run
+    per group.  The group set is deliberately ragged — different
+    workloads, sizes, depths, policies, and *unequal config counts* —
+    so the padding tail, and groups whose trailing gates are miss-free
+    (the ``reduceat`` fold's boundary case), are all exercised.
+    """
+
+    # (workload, n_bits, depth, policy, widths); qft-12-d2 has ~11
+    # trailing miss-free gates, modexp is the longest trace, and the
+    # widths lists give groups 8, 4, and 12 priced configurations.
+    GROUP_SPECS = [
+        ("draper_adder", 16, 3, "lru", (5, 10)),
+        ("qft", 12, 2, "belady", (7,)),
+        ("modexp_trace", 12, 2, "fifo", (4, 8, 12)),
+    ]
+
+    @staticmethod
+    def _build(specs):
+        groups = []
+        for workload, n_bits, depth, policy, widths in specs:
+            circuit = build_workload(workload, n_bits)
+            stacks = [
+                stack
+                for width in widths
+                for stack in _code_variants(depth, 12, 1.0, width)
+            ]
+            order = simulate_optimized(
+                circuit, stacks[0].levels[0].capacity
+            ).order
+            trace = extract_movement_trace(stacks[0], circuit, policy,
+                                           order=order)
+            groups.append((trace, stacks))
+        return groups
+
+    def test_trailing_missfree_gates_present(self):
+        # The boundary case must actually be in the fixture: a group
+        # whose last gates incur no misses (the fold must leave their
+        # arrival rows at zero, not clip into the prior gate's segment).
+        groups = self._build(self.GROUP_SPECS)
+        assert any(
+            trace.n_misses > 0 and trace.gate_nmiss[-1] == 0
+            for trace, _ in groups
+        )
+
+    @pytest.mark.parametrize("engine", ["auto", "grouped", "numpy"])
+    def test_exact_vs_per_group(self, engine):
+        groups = self._build(self.GROUP_SPECS)
+        expected = [
+            price_movement_trace_batch(trace, stacks)
+            for trace, stacks in groups
+        ]
+        assert price_movement_traces_multi(groups, engine=engine) == expected
+
+    @pytest.mark.parametrize("engine", ["auto", "grouped", "numpy"])
+    def test_single_group_and_empty(self, engine):
+        groups = self._build(self.GROUP_SPECS[:1])
+        expected = [price_movement_trace_batch(*groups[0])]
+        assert price_movement_traces_multi(groups, engine=engine) == expected
+        assert price_movement_traces_multi([], engine=engine) == []
 
 
 class TestFastSplitEquivalence:
