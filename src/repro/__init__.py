@@ -20,15 +20,20 @@ of Thaker, Metodi, Cross, Chuang and Chong, built from scratch:
   policies, exact prefetchers), plus the block scheduler, cache
   simulator and communication accounting;
 * :mod:`repro.perf` — memoization, process-pool fan-out and the
-  durable content-addressed result store;
+  durable content-addressed result store, with pluggable backends
+  (:mod:`repro.perf.backends`: ``fs:DIR`` / ``sqlite:PATH`` locators);
 * :mod:`repro.sweep` — sharded sweep orchestration over that store
   (``python -m repro.sweep``);
+* :mod:`repro.service` — the read-only HTTP query service over warm
+  sweep stores (``python -m repro.sweep serve``): rendered tables,
+  design-point lookups, streamed progress;
 * :mod:`repro.analysis` — builders regenerating every table and figure
   of the paper's evaluation, with the published values alongside.
 
 ``docs/architecture.md`` maps the layers in detail;
 ``docs/reproducing-the-paper.md`` maps each paper artifact to its
-module, public call and pinning test.
+module, public call and pinning test; ``docs/sweep-service.md`` is the
+store-backend and query-service guide.
 
 Quickstart::
 

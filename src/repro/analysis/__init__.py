@@ -37,6 +37,7 @@ from .tables import (
     engine_table_from_store,
     engine_table_text,
     engine_table_text_from_store,
+    render_table_from_store,
     table1,
     table1_text,
     table2,
@@ -78,6 +79,7 @@ __all__ = [
     "format_series",
     "format_table",
     "paper_values",
+    "render_table_from_store",
     "sensitivity",
     "table1",
     "table1_text",

@@ -3,6 +3,13 @@
 Each ``tableN()`` returns structured data; each ``tableN_text()``
 renders it in the shape of the published table, with paper values
 alongside where they exist for direct comparison.
+
+The ``*_from_store`` variants (and the backend-agnostic
+:func:`render_table_from_store` behind the sweep service) render from
+sharded-sweep records without computing anything; their ``store``
+argument is anything :func:`repro.perf.store.resolve_store` accepts —
+a directory, an ``fs:DIR`` / ``sqlite:PATH`` locator, or a backend
+instance from :mod:`repro.perf.backends`.
 """
 
 from __future__ import annotations
@@ -395,8 +402,41 @@ def engine_table_text_from_store(
     """
     from ..core.design_space import engine_grid
 
-    grid = engine_grid(**grid_kwargs)
-    from ..sweep.runner import rows_from_store
+    return render_table_from_store(
+        engine_grid(**grid_kwargs), store, allow_missing=allow_missing
+    )
 
-    rows = rows_from_store(grid, EngineRow, store, allow_missing=allow_missing)
-    return _render_engine_table(rows, grid=grid, store=store)
+
+#: Grid kernels with a registered table renderer (grid, rows -> text).
+_STORE_RENDERERS = {
+    "engine_cell": lambda grid, rows, store: _render_engine_table(
+        rows, grid=grid, store=store
+    ),
+    "transfer_cell": lambda grid, rows, store: _render_table3(rows),
+}
+
+
+def render_table_from_store(grid, store, *, allow_missing: bool = False) -> str:
+    """Render ``grid``'s table from any store backend, computing nothing.
+
+    The backend-agnostic entry point behind the sweep service's
+    ``/v1/table`` endpoint and the ``*_text_from_store`` wrappers:
+    ``store`` is anything :func:`repro.perf.store.resolve_store`
+    accepts — a directory, an ``fs:DIR`` / ``sqlite:PATH`` locator, or
+    a backend instance — and ``grid`` selects both the cell enumeration
+    and the renderer (``engine_cell`` -> the engine design-space table,
+    ``transfer_cell`` -> Table 3).  Identical records render to
+    byte-identical text whichever backend holds them; the CI
+    ``sweep-service`` job asserts exactly that across fs and sqlite.
+    """
+    renderer = _STORE_RENDERERS.get(grid.kernel)
+    if renderer is None:
+        raise ValueError(
+            f"no table renderer for {grid.kernel} grids "
+            f"(renderable: {', '.join(sorted(_STORE_RENDERERS))})"
+        )
+    from ..sweep.runner import kernel_registry, rows_from_store
+
+    _, row_type = kernel_registry()[grid.kernel]
+    rows = rows_from_store(grid, row_type, store, allow_missing=allow_missing)
+    return renderer(grid, rows, store)

@@ -14,6 +14,11 @@ the generic accelerators they share:
   (atomic per-cell JSON records, ``flock``-guarded index) that sharded
   sweep workers on many hosts fill concurrently and ``merge`` reads
   back; its on-disk layout is :class:`SweepCache`-compatible;
+* :mod:`repro.perf.backends` — the pluggable-store layer: the
+  ``fs:DIR`` / ``sqlite:PATH`` locator syntax (:func:`open_store`),
+  the backend method/atomicity contract, and the :class:`SqliteStore`
+  backend holding a whole store in one SQLite database with records
+  bit-identical to the filesystem layout;
 * :mod:`repro.perf.tracecache` — a persistent, content-addressed cache
   of serialized movement traces (verified, corrupt-tolerant blobs with
   durable hit/miss counters), so repeated and resumed engine sweeps
@@ -33,6 +38,13 @@ owns its own namespace — ``memo/`` for the file cache, ``traces/`` for
 trace blobs, ``store/`` (by convention) for result stores.
 """
 
+from .backends import (
+    SqliteStore,
+    StoreBackendError,
+    locator_path,
+    open_store,
+    parse_locator,
+)
 from .chaos import ChaosFault, ChaosPlan, ChaosTransientError, Fault
 from .memo import SweepCache, default_cache, resolve_cache, stable_key
 from .parallel import parallel_iter, parallel_map
@@ -59,6 +71,8 @@ __all__ = [
     "Fault",
     "ResultStore",
     "RetryPolicy",
+    "SqliteStore",
+    "StoreBackendError",
     "StoreStatus",
     "Supervision",
     "SweepCache",
@@ -68,8 +82,11 @@ __all__ = [
     "atomic_write_text",
     "default_cache",
     "default_trace_cache",
+    "locator_path",
+    "open_store",
     "parallel_iter",
     "parallel_map",
+    "parse_locator",
     "resolve_cache",
     "resolve_store",
     "resolve_trace_cache",

@@ -33,6 +33,11 @@ Design points:
   Failures never shadow results — ``status`` reports them as
   failed-and-missing, ``resume`` recomputes them, and a success clears
   them — so quarantine is visible without ever poisoning a merge.
+* **One backend of several.**  This filesystem layout is the ``fs``
+  backend of the pluggable-store protocol; :mod:`repro.perf.backends`
+  defines the locator syntax (``fs:DIR`` / ``sqlite:PATH``), the
+  method/atomicity contract, and the :class:`SqliteStore` twin proven
+  interchangeable by ``tests/test_backends.py``.
 * **``SweepCache``-compatible layout.**  Records are ``<key>.json``
   files whose top-level ``"value"`` field holds the payload — exactly
   the layout :class:`repro.perf.memo.SweepCache` persists — so a
@@ -140,6 +145,16 @@ class ResultStore:
         self.directory = Path(directory)
 
     # -- paths -----------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """The backend's filesystem anchor (the store directory).
+
+        Part of the backend protocol (:mod:`repro.perf.backends`):
+        consumers use it only to place *sibling* artifacts such as
+        profile dumps, never to reach records.
+        """
+        return self.directory
+
     def record_path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
@@ -280,6 +295,16 @@ class ResultStore:
         except OSError:
             pass
 
+    # -- fault injection -------------------------------------------------
+    def chaos_tear(self, plan, key: str, params: Dict[str, Any]) -> bool:
+        """Apply a scripted ``"corrupt"`` fault to ``key``; True if torn.
+
+        The backend-protocol hook behind the chaos harness's torn-write
+        fault (:meth:`repro.perf.chaos.ChaosPlan.corrupt_after_write`):
+        here the record *is* a file, so the plan tears it in place.
+        """
+        return plan.corrupt_after_write(self.record_path(key), params)
+
     # -- index -----------------------------------------------------------
     @contextmanager
     def _locked(self) -> Iterator[None]:
@@ -340,18 +365,43 @@ class ResultStore:
             return records
 
 
-def resolve_store(
-    store: Union[None, str, Path, ResultStore],
-) -> Optional[ResultStore]:
-    """Normalize the ``store=`` knob the sweeps expose.
+#: Methods every store backend must offer; ``resolve_store`` accepts
+#: any object with this surface (see :mod:`repro.perf.backends` for
+#: the full protocol contract, including atomicity semantics).
+BACKEND_SURFACE = (
+    "put",
+    "get",
+    "record",
+    "has",
+    "keys",
+    "status",
+    "put_failure",
+    "failure",
+    "failure_keys",
+    "clear_failure",
+    "read_index",
+    "index_add",
+    "rebuild_index",
+)
 
-    ``None`` -> no store (compute everything, persist nothing); a path
-    -> a :class:`ResultStore` rooted there; a store -> itself.
+
+def resolve_store(store):
+    """Normalize the ``store=`` knob the sweeps and tables expose.
+
+    ``None`` -> no store (compute everything, persist nothing); a
+    locator string (``fs:DIR`` / ``sqlite:PATH``, or a bare path for
+    backward compatibility) -> the backend it names via
+    :func:`repro.perf.backends.open_store`; any object with the full
+    backend method surface (:data:`BACKEND_SURFACE`) -> itself.
     """
     if store is None:
         return None
     if isinstance(store, ResultStore):
         return store
     if isinstance(store, (str, Path)):
-        return ResultStore(store)
+        from .backends import open_store
+
+        return open_store(store)
+    if all(hasattr(store, method) for method in BACKEND_SURFACE):
+        return store
     raise TypeError(f"cannot interpret store={store!r}")

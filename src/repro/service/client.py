@@ -1,0 +1,101 @@
+"""Stdlib HTTP client for the sweep service.
+
+A thin, dependency-free wrapper over :mod:`urllib.request` mirroring
+the server's endpoint surface (:mod:`repro.service.server`), one
+method per route.  ``progress()`` is a generator over the chunked
+NDJSON stream — :mod:`http.client` de-chunks transparently, so each
+``readline`` yields one complete progress tick.  Used by the service
+tests, the CI ``sweep-service`` job, and the
+``service_table_query_overhead`` benchmark kernel; any HTTP client
+(curl included) speaks the same protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, Optional
+from urllib.error import HTTPError
+from urllib.parse import quote, urlencode
+from urllib.request import urlopen
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response, carrying the decoded error payload."""
+
+    def __init__(self, code: int, payload: Any) -> None:
+        self.code = code
+        self.payload = payload
+        super().__init__(f"service answered {code}: {payload}")
+
+
+class ServiceClient:
+    """Synchronous client bound to one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _open(self, path: str, query: Optional[Dict[str, Any]] = None):
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode(query)
+        try:
+            return urlopen(url, timeout=self.timeout)
+        except HTTPError as exc:
+            body = exc.read().decode("utf-8", "replace")
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                payload = body
+            raise ServiceError(exc.code, payload) from None
+
+    def _get_json(
+        self, path: str, query: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        with self._open(path, query) as response:
+            return json.loads(response.read().decode())
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe: kernel, cell count, store locator."""
+        return self._get_json("/healthz")
+
+    def status(self) -> Dict[str, Any]:
+        """The grid's done/missing/failed split against the store."""
+        return self._get_json("/v1/status")
+
+    def table(self, *, allow_missing: bool = False) -> str:
+        """The rendered table text; :class:`ServiceError` (409) while
+        the store is incomplete unless ``allow_missing`` opts into a
+        degraded render."""
+        query = {"allow_missing": "1"} if allow_missing else None
+        with self._open("/v1/table", query) as response:
+            return response.read().decode()
+
+    def cells(self) -> Dict[str, Any]:
+        """Every grid cell's key, parameters and done flag."""
+        return self._get_json("/v1/cells")
+
+    def cell(self, key: str) -> Dict[str, Any]:
+        """One design point's record; :class:`ServiceError` (404, with
+        any quarantine record in the payload) when missing."""
+        return self._get_json("/v1/cell/" + quote(key, safe=""))
+
+    def progress(
+        self,
+        *,
+        interval: float = 1.0,
+        ticks: Optional[int] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield progress ticks from the chunked stream as dicts.
+
+        The stream (and this generator) ends when the grid completes
+        or after ``ticks`` polls.
+        """
+        query: Dict[str, Any] = {"interval": interval}
+        if ticks is not None:
+            query["ticks"] = ticks
+        with self._open("/v1/progress", query) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())

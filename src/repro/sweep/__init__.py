@@ -10,13 +10,18 @@ exact row list a single-process sweep produces — bit-identically.
 Library surface: :func:`compute_grid` / :func:`rows_from_store`
 (:mod:`repro.sweep.runner`).  Operational surface::
 
-    python -m repro.sweep run --shard 0/4 --store DIR   # one worker
-    python -m repro.sweep status --store DIR --shards 4
-    python -m repro.sweep resume --store DIR            # fill gaps
-    python -m repro.sweep merge --store DIR --verify
+    python -m repro.sweep run --shard 0/4 --store URL   # one worker
+    python -m repro.sweep status --store URL --shards 4
+    python -m repro.sweep resume --store URL            # fill gaps
+    python -m repro.sweep merge --store URL --verify
+    python -m repro.sweep serve --store URL             # HTTP queries
 
-(The CLI lives in :mod:`repro.sweep.cli`, imported only by
-``__main__`` so this package stays import-light for the sweeps.)
+``--store`` takes a backend locator (:mod:`repro.perf.backends`):
+a bare directory or ``fs:DIR``, or ``sqlite:PATH`` for the
+single-file SQLite backend; ``serve`` stands up the read-only query
+service (:mod:`repro.service`) over either.  (The CLI lives in
+:mod:`repro.sweep.cli`, imported only by ``__main__`` so this package
+stays import-light for the sweeps.)
 """
 
 from .grid import Cell, Grid, parse_shard_spec, shard_index

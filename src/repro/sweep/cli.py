@@ -1,4 +1,4 @@
-"""Worker CLI for sharded sweeps: ``run`` / ``status`` / ``merge`` / ``resume``.
+"""Worker CLI for sharded sweeps: ``run``/``status``/``merge``/``resume``/``serve``.
 
 The distributed workflow over the engine design space
 (:func:`repro.core.design_space.engine_grid`)::
@@ -12,6 +12,18 @@ The distributed workflow over the engine design space
     python -m repro.sweep status --store /shared/sweep --shards 4
     python -m repro.sweep resume --store /shared/sweep   # after a crash
     python -m repro.sweep merge  --store /shared/sweep --output rows.json
+
+Every ``--store`` accepts a backend locator
+(:mod:`repro.perf.backends`): a bare path or ``fs:DIR`` is the
+filesystem store, ``sqlite:PATH`` keeps the whole store in one SQLite
+database — interchangeable byte-for-byte at the record level, so any
+workflow above runs unchanged against either.  ``serve`` stands up the
+read-only HTTP query service (:mod:`repro.service`) over a store::
+
+    python -m repro.sweep serve --store sqlite:/shared/sweep.db --port 8123
+    curl http://HOST:8123/v1/status
+    curl http://HOST:8123/v1/table
+    curl -N "http://HOST:8123/v1/progress?interval=2"   # streamed ticks
 
 Every subcommand takes the same grid options, so the workers, the
 status probe, and the merge all agree on the canonical cell enumeration.
@@ -53,7 +65,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Iterator, List, Optional
 
-from ..perf.store import ResultStore
+from ..perf.backends import locator_path, open_store
 from ..perf.supervise import RetryPolicy, Supervision, TooManyFailures
 from .grid import Grid, parse_shard_spec
 from .runner import (
@@ -249,8 +261,8 @@ def _maybe_profile(args: argparse.Namespace, label: str) -> Iterator[None]:
         yield
     finally:
         profiler.disable()
-        store_dir = Path(args.store)
-        path = store_dir.parent / f"{store_dir.name}-profile-{label}.pstats"
+        anchor = locator_path(args.store)
+        path = anchor.parent / f"{anchor.name}-profile-{label}.pstats"
         profiler.dump_stats(path)
         print(f"profile: {path}")
 
@@ -313,7 +325,7 @@ def _supervision_from_args(args: argparse.Namespace) -> Optional[Supervision]:
     )
 
 
-def _report_quarantine(store: ResultStore, grid: Grid) -> int:
+def _report_quarantine(store, grid: Grid) -> int:
     """Print quarantined cells of ``grid``; returns how many there are."""
     failed = store.status(grid.keys()).failed_keys
     for key in failed:
@@ -393,7 +405,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     index, count = parse_shard_spec(args.shard)
     batch, group_key = _batch_from_args(args)
     shard = grid.shard(index, count, group_key=group_key)
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     before = store.status(shard.keys())
     fn, row_type = kernel_registry()[grid.kernel]
     try:
@@ -423,7 +435,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_resume(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
     batch, _ = _batch_from_args(args)
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     before = store.status(grid.keys())
     fn, row_type = kernel_registry()[grid.kernel]
     try:
@@ -450,7 +462,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 def _cmd_status(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     overall = store.status(grid.keys())
     print(
         f"{grid.kernel} grid: {overall.done}/{overall.total} cells "
@@ -485,7 +497,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 def _cmd_merge(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     # Shard artifacts each shipped their own index.json and only one
     # survives a file-level directory merge; records are the truth.
     store.rebuild_index()
@@ -553,6 +565,21 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = open_store(args.store)
+    from ..service.server import run_service
+
+    return run_service(
+        store,
+        grid,
+        host=args.host,
+        port=args.port,
+        locator=args.store,
+        trace_cache=getattr(args, "trace_cache", None),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweep",
@@ -562,7 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="compute one shard's missing cells")
     run.add_argument("--shard", default="0/1", metavar="i/K")
-    run.add_argument("--store", required=True, metavar="DIR")
+    run.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help="store backend locator: DIR / fs:DIR / sqlite:PATH",
+    )
     run.add_argument("--workers", type=int, default=None, metavar="N")
     _add_grid_options(run)
     _add_supervision_options(run)
@@ -572,7 +604,12 @@ def build_parser() -> argparse.ArgumentParser:
     resume = sub.add_parser(
         "resume", help="compute every missing cell of the whole grid"
     )
-    resume.add_argument("--store", required=True, metavar="DIR")
+    resume.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help="store backend locator: DIR / fs:DIR / sqlite:PATH",
+    )
     resume.add_argument("--workers", type=int, default=None, metavar="N")
     _add_grid_options(resume)
     _add_supervision_options(resume)
@@ -580,7 +617,12 @@ def build_parser() -> argparse.ArgumentParser:
     resume.set_defaults(fn=_cmd_resume)
 
     status = sub.add_parser("status", help="report stored vs missing cells")
-    status.add_argument("--store", required=True, metavar="DIR")
+    status.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help="store backend locator: DIR / fs:DIR / sqlite:PATH",
+    )
     status.add_argument("--shards", type=int, default=None, metavar="K")
     status.add_argument(
         "--trace-cache",
@@ -595,7 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
     merge = sub.add_parser(
         "merge", help="reassemble the single-process row list from the store"
     )
-    merge.add_argument("--store", required=True, metavar="DIR")
+    merge.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help="store backend locator: DIR / fs:DIR / sqlite:PATH",
+    )
     merge.add_argument("--output", default=None, metavar="FILE")
     merge.add_argument(
         "--verify",
@@ -610,6 +657,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_grid_options(merge)
     merge.set_defaults(fn=_cmd_merge)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP query service over a store: tables, status, cell "
+        "lookups, streamed progress (read-only; computes nothing)",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help="store backend locator: DIR / fs:DIR / sqlite:PATH",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="bind address (default 127.0.0.1; 0.0.0.0 for other hosts)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8123,
+        metavar="N",
+        help="bind port (default 8123; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="include this trace cache's summary in /v1/status",
+    )
+    _add_grid_options(serve)
+    serve.set_defaults(fn=_cmd_serve)
 
     return parser
 

@@ -388,8 +388,13 @@ def _run_batched(
             )
 
 
-def _persist(store: ResultStore, cell: Cell, row: Any) -> Dict[str, Any]:
-    """Write one row's record (indexing deferred to the caller's batch)."""
+def _persist(store, cell: Cell, row: Any) -> Dict[str, Any]:
+    """Write one row's record (indexing deferred to the caller's batch).
+
+    ``store`` is any backend of the pluggable-store protocol
+    (:mod:`repro.perf.backends`), not just the filesystem
+    :class:`ResultStore`.
+    """
     meta = store.put(
         cell.key, asdict(row), kernel=cell.kernel, params=cell.as_dict(), index=False
     )
@@ -398,9 +403,10 @@ def _persist(store: ResultStore, cell: Cell, row: Any) -> Dict[str, Any]:
     store.clear_failure(cell.key)
     plan = chaos.active_plan()
     if plan is not None:
-        # The "corrupt" chaos fault models a torn write surviving the
-        # rename: it fires here, after the record landed.
-        plan.corrupt_after_write(store.record_path(cell.key), cell.as_dict())
+        # The "corrupt" chaos fault models a torn write surviving
+        # persistence: it fires here, after the record landed, through
+        # the backend's own tear hook.
+        store.chaos_tear(plan, cell.key, cell.as_dict())
     return meta
 
 

@@ -1,0 +1,374 @@
+"""Backend conformance suite (repro.perf.backends).
+
+Every store backend reachable through a locator must honour the same
+contracts the filesystem store established in the atomicity, corruption
+and quarantine tests of ``tests/test_store.py`` — so each contract here
+is parametrized over ``fs``/``sqlite`` and exercised through the shared
+method surface only.  The cross-backend class then pins the stronger
+claim: the *same grid* swept into either backend persists byte-identical
+record text and merges ``--verify``-clean into byte-identical outputs.
+"""
+
+import json
+import multiprocessing
+import sqlite3
+from contextlib import closing
+
+import pytest
+
+from repro.core.design_space import transfer_grid
+from repro.perf.backends import (
+    STORE_SCHEMES,
+    SqliteStore,
+    StoreBackendError,
+    locator_path,
+    open_store,
+    parse_locator,
+)
+from repro.perf.chaos import ChaosPlan
+from repro.perf.store import ResultStore, resolve_store
+from repro.sweep.cli import main as sweep_main
+from repro.sweep.runner import compute_grid, kernel_registry
+
+BACKENDS = ("fs", "sqlite")
+
+FAILURE = {
+    "kind": "exception",
+    "exception_type": "ChaosFault",
+    "message": "scripted",
+    "attempts": 3,
+    "traceback_digest": "abc123def456",
+}
+
+
+def make_locator(backend, tmp_path, name="store"):
+    if backend == "fs":
+        return f"fs:{tmp_path / name}"
+    return f"sqlite:{tmp_path / name}.db"
+
+
+def corrupt_record(store, key, text='{"value": [1, 2'):
+    """Tear ``key``'s persisted record through the backend's own storage."""
+    if isinstance(store, SqliteStore):
+        with closing(sqlite3.connect(str(store.path))) as conn, conn:
+            conn.execute(
+                "UPDATE records SET record=? WHERE key=?", (text, key)
+            )
+    else:
+        store.record_path(key).write_text(text)
+
+
+def corrupt_failure(store, key, text='{"failure": [torn'):
+    if isinstance(store, SqliteStore):
+        with closing(sqlite3.connect(str(store.path))) as conn, conn:
+            conn.execute(
+                "UPDATE failures SET record=? WHERE key=?", (text, key)
+            )
+    else:
+        store.failure_path(key).write_text(text)
+
+
+def delete_record(store, key):
+    if isinstance(store, SqliteStore):
+        with closing(sqlite3.connect(str(store.path))) as conn, conn:
+            conn.execute("DELETE FROM records WHERE key=?", (key,))
+    else:
+        store.record_path(key).unlink()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def store(backend, tmp_path):
+    return open_store(make_locator(backend, tmp_path))
+
+
+class TestLocators:
+    def test_parse_locator(self, tmp_path):
+        assert parse_locator("fs:/shared/sweep") == ("fs", "/shared/sweep")
+        assert parse_locator("sqlite:/shared/sweep.db") == (
+            "sqlite",
+            "/shared/sweep.db",
+        )
+        # Bare paths (and Path objects) stay the filesystem backend, so
+        # every pre-backend ``--store DIR`` invocation is unchanged.
+        assert parse_locator("relative/dir") == ("fs", "relative/dir")
+        assert parse_locator(tmp_path) == ("fs", str(tmp_path))
+
+    def test_unknown_scheme_is_an_error_not_a_path(self):
+        with pytest.raises(StoreBackendError, match="unknown store backend"):
+            parse_locator("redis:/somewhere")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(StoreBackendError, match="empty path"):
+            parse_locator("sqlite:")
+
+    def test_locator_path_anchors_sibling_artifacts(self, tmp_path):
+        assert locator_path(f"sqlite:{tmp_path}/s.db") == tmp_path / "s.db"
+        assert locator_path(str(tmp_path)) == tmp_path
+
+    def test_open_store_picks_the_backend(self, tmp_path):
+        assert isinstance(open_store(f"fs:{tmp_path}/a"), ResultStore)
+        assert isinstance(
+            open_store(f"sqlite:{tmp_path}/a.db"), SqliteStore
+        )
+        assert isinstance(open_store(tmp_path / "bare"), ResultStore)
+
+    def test_fs_locator_on_sqlite_file_names_the_fix(self, tmp_path):
+        db = tmp_path / "store.db"
+        SqliteStore(db).put("k", 1)
+        with pytest.raises(StoreBackendError, match=f"sqlite:{db}"):
+            open_store(str(db))
+
+    def test_sqlite_locator_on_directory_names_the_fix(self, tmp_path):
+        with pytest.raises(StoreBackendError, match=f"fs:{tmp_path}"):
+            open_store(f"sqlite:{tmp_path}")
+
+    def test_sqlite_locator_on_foreign_file(self, tmp_path):
+        noise = tmp_path / "rows.json"
+        noise.write_text("[]")
+        with pytest.raises(StoreBackendError, match="not a SQLite database"):
+            open_store(f"sqlite:{noise}")
+
+    def test_resolve_store_accepts_locators_and_backends(self, tmp_path):
+        built = resolve_store(f"sqlite:{tmp_path}/s.db")
+        assert isinstance(built, SqliteStore)
+        # An already-open backend object passes through untouched.
+        assert resolve_store(built) is built
+        assert isinstance(resolve_store(f"fs:{tmp_path}/d"), ResultStore)
+
+    def test_every_scheme_is_openable(self, tmp_path):
+        for scheme in STORE_SCHEMES:
+            name = f"probe-{scheme}" + (".db" if scheme == "sqlite" else "")
+            store = open_store(f"{scheme}:{tmp_path / name}")
+            store.put("k", 1)
+            assert store.get("k") == 1
+
+
+class TestBackendConformance:
+    """The PR 4/6 store contracts, over every backend."""
+
+    def test_put_get_roundtrip_with_meta(self, store):
+        assert store.get("k") is None
+        assert not store.has("k")
+        store.put(
+            "k", {"speedup": 2.5}, kernel="engine_cell", params={"n_bits": 16}
+        )
+        assert store.get("k") == {"speedup": 2.5}
+        assert store.has("k")
+        record = store.record("k")
+        assert record["meta"]["kernel"] == "engine_cell"
+        assert record["meta"]["params"] == {"n_bits": 16}
+
+    def test_keys_sorted(self, store):
+        for key in ("b", "a", "c"):
+            store.put(key, key.upper())
+        assert store.keys() == ["a", "b", "c"]
+
+    def test_corrupt_record_counts_as_missing(self, store):
+        store.put("good", 1)
+        store.put("torn", 2)
+        store.put("wrongshape", 3)
+        corrupt_record(store, "torn")
+        corrupt_record(store, "wrongshape", json.dumps([1, 2]))
+        assert store.get("torn") is None
+        assert store.get("wrongshape") is None
+        assert store.get("good") == 1
+        assert store.keys() == ["good"]
+        status = store.status(["good", "torn", "wrongshape", "absent"])
+        assert (status.total, status.done, status.missing) == (4, 1, 3)
+        assert status.missing_keys == ("torn", "wrongshape", "absent")
+        assert not status.complete
+
+    def test_status_complete(self, store):
+        store.put("k", 1)
+        status = store.status(["k"])
+        assert status.complete and status.missing == 0
+
+    def test_failure_roundtrip_and_quarantine_split(self, store):
+        assert store.failure("k") is None
+        store.put_failure(
+            "k", FAILURE, kernel="engine_cell", params={"n_bits": 16}
+        )
+        record = store.failure("k")
+        assert record["failure"] == FAILURE
+        assert record["meta"]["kernel"] == "engine_cell"
+        assert store.failure_keys() == ["k"]
+        store.put("done", 1)
+        status = store.status(["done", "k", "absent"])
+        assert (status.done, status.missing, status.failed) == (1, 2, 1)
+        assert status.failed_keys == ("k",)
+
+    def test_failure_never_shadows_a_result(self, store):
+        store.put_failure("k", FAILURE)
+        assert not store.has("k")
+        assert store.keys() == []
+        store.put("k", {"speedup": 2.0})
+        assert store.has("k")
+        assert store.status(["k"]).complete
+        assert store.status(["k"]).failed == 0
+
+    def test_clear_failure_is_idempotent(self, store):
+        store.put_failure("k", FAILURE)
+        store.clear_failure("k")
+        assert store.failure("k") is None
+        assert store.failure_keys() == []
+        store.clear_failure("never-existed")
+
+    def test_corrupt_failure_record_counts_as_none(self, store):
+        store.put_failure("k", FAILURE)
+        corrupt_failure(store, "k")
+        assert store.failure("k") is None
+        store.put_failure("shapeless", FAILURE)
+        corrupt_failure(store, "shapeless", json.dumps({"failure": "str"}))
+        assert store.failure("shapeless") is None
+        assert store.failure_keys() == []
+
+    def test_index_tracks_puts(self, store):
+        store.put("k1", 1, kernel="engine_cell")
+        store.put("k2", 2, kernel="engine_cell")
+        index = store.read_index()
+        assert set(index) == {"k1", "k2"}
+        assert index["k1"]["kernel"] == "engine_cell"
+
+    def test_index_add_merges(self, store):
+        store.index_add({"k1": {"kernel": "engine_cell"}})
+        store.index_add({"k2": {"kernel": "engine_cell"}})
+        assert set(store.read_index()) == {"k1", "k2"}
+
+    def test_rebuild_index_drops_stale_entries(self, store):
+        store.put("gone", 1)
+        delete_record(store, "gone")
+        store.put("kept", 2)
+        assert set(store.rebuild_index()) == {"kept"}
+        assert set(store.read_index()) == {"kept"}
+
+    def test_records_never_depend_on_the_index(self, store):
+        store.put("k", 1, index=False)
+        assert store.get("k") == 1
+        assert store.read_index() == {}
+        assert set(store.rebuild_index()) == {"k"}
+
+    def test_empty_store_reads_empty(self, store):
+        assert store.get("k") is None
+        assert store.keys() == []
+        assert store.read_index() == {}
+        assert store.failure_keys() == []
+
+    def test_chaos_tear_then_record_reads_missing(self, store, tmp_path):
+        plan = ChaosPlan.scripted(
+            [{"fault": "corrupt", "match": {"x": 1}, "times": 1}],
+            state_dir=tmp_path / "chaos-state",
+        )
+        store.put("hit", {"value": "full"}, params={"x": 1})
+        store.put("spared", {"value": "full"}, params={"x": 2})
+        assert not store.chaos_tear(plan, "spared", {"x": 2})
+        assert store.chaos_tear(plan, "hit", {"x": 1})
+        # The torn record models a tear that survived persistence: it
+        # must read as missing, and a resume must recompute it.
+        assert store.get("hit") is None
+        assert not store.has("hit")
+        assert store.get("spared") == {"value": "full"}
+        # times=1 is spent — the recomputed record survives.
+        store.put("hit", {"value": "full"}, params={"x": 1})
+        assert not store.chaos_tear(plan, "hit", {"x": 1})
+        assert store.has("hit")
+
+
+def _hammer_same_cell(args):
+    locator, key, rounds = args
+    store = open_store(locator)
+    for _ in range(rounds):
+        store.put(
+            key,
+            {"cell": "deterministic-value", "n": 12},
+            kernel="engine_cell",
+            params={"n_bits": 12},
+        )
+    return True
+
+
+def _hammer_many_cells(args):
+    locator, rounds = args
+    store = open_store(locator)
+    for i in range(rounds):
+        key = f"cell{i % 8}"
+        store.put(key, {"value-for": key}, kernel="engine_cell")
+    return True
+
+
+class TestConcurrentWriters:
+    """Worker processes open stores from locator strings, like real shards."""
+
+    def test_two_processes_racing_one_cell(self, backend, tmp_path):
+        locator = make_locator(backend, tmp_path)
+        with multiprocessing.Pool(2) as pool:
+            done = pool.map(_hammer_same_cell, [(locator, "cell", 40)] * 2)
+        assert done == [True, True]
+        store = open_store(locator)
+        # Cells are deterministic, so last-writer-wins is value-identical;
+        # the record must be complete and readable, never torn.
+        assert store.get("cell") == {"cell": "deterministic-value", "n": 12}
+        assert set(store.read_index()) == {"cell"}
+
+    def test_two_processes_racing_many_cells(self, backend, tmp_path):
+        locator = make_locator(backend, tmp_path)
+        with multiprocessing.Pool(2) as pool:
+            pool.map(_hammer_many_cells, [(locator, 40)] * 2)
+        store = open_store(locator)
+        expected = {f"cell{i}" for i in range(8)}
+        for key in expected:
+            assert store.get(key) == {"value-for": key}
+        assert set(store.keys()) == expected
+        assert set(store.read_index()) == expected
+
+
+class TestCrossBackendIdentity:
+    """One grid, two backends, zero observable difference."""
+
+    def test_records_byte_identical(self, tmp_path):
+        grid = transfer_grid()
+        fn, row_type = kernel_registry()[grid.kernel]
+        fs = open_store(f"fs:{tmp_path / 'fs-store'}")
+        sq = open_store(f"sqlite:{tmp_path / 'store.db'}")
+        rows_fs = compute_grid(grid, fn, row_type, store=fs)
+        rows_sq = compute_grid(grid, fn, row_type, store=sq)
+        assert rows_fs == rows_sq
+        with closing(sqlite3.connect(str(sq.path))) as conn:
+            sq_text = dict(conn.execute("SELECT key, record FROM records"))
+        assert sorted(sq_text) == fs.keys()
+        for key in fs.keys():
+            # The *persisted bytes*, not just the parsed values, match.
+            assert fs.record_path(key).read_text() == sq_text[key]
+
+    def test_cli_merge_verify_identical_across_backends(self, tmp_path):
+        outputs = {}
+        for backend in BACKENDS:
+            locator = make_locator(backend, tmp_path, f"cli-{backend}")
+            args = ["--kernel", "transfer_cell"]
+            for shard in ("0/2", "1/2"):
+                code = sweep_main(
+                    ["run", "--shard", shard, "--store", locator, *args]
+                )
+                assert code == 0
+            assert (
+                sweep_main(["status", "--store", locator, *args]) == 0
+            )
+            output = tmp_path / f"rows-{backend}.json"
+            code = sweep_main(
+                [
+                    "merge",
+                    "--store",
+                    locator,
+                    "--verify",
+                    "--output",
+                    str(output),
+                    *args,
+                ]
+            )
+            assert code == 0
+            outputs[backend] = output.read_bytes()
+        assert outputs["fs"] == outputs["sqlite"]

@@ -25,6 +25,7 @@ def test_docs_exist():
     names = [path.name for path in DOC_FILES]
     assert "architecture.md" in names
     assert "reproducing-the-paper.md" in names
+    assert "sweep-service.md" in names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)

@@ -1,0 +1,243 @@
+"""Tests for the sweep query service (repro.service).
+
+The service is read-only plumbing over a store backend: every test
+spins a :class:`~repro.service.server.BackgroundService` on a daemon
+thread against a real store (fs or sqlite) and speaks to it through
+:class:`~repro.service.client.ServiceClient` — the same stack the CI
+``sweep-service`` job drives over HTTP from the shell.
+"""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from urllib.request import urlopen
+
+import pytest
+
+from repro.core.design_space import engine_grid, transfer_grid
+from repro.analysis.tables import engine_table_text_from_store
+from repro.perf.backends import open_store
+from repro.service import BackgroundService, ServiceClient, ServiceError
+from repro.sweep.runner import compute_grid, kernel_registry
+
+GRID_KWARGS = dict(workloads=("draper_adder",), sizes=(16,), depths=(2,))
+
+FAILURE = {
+    "kind": "exception",
+    "exception_type": "ChaosFault",
+    "message": "scripted",
+    "attempts": 3,
+    "traceback_digest": "abc123def456",
+}
+
+
+def fill(grid, store):
+    fn, row_type = kernel_registry()[grid.kernel]
+    return compute_grid(grid, fn, row_type, store=store)
+
+
+@pytest.fixture(params=("fs", "sqlite"))
+def warm(request, tmp_path):
+    """A completed transfer grid in either backend, plus its locator."""
+    if request.param == "fs":
+        locator = f"fs:{tmp_path / 'store'}"
+    else:
+        locator = f"sqlite:{tmp_path / 'store.db'}"
+    store = open_store(locator)
+    grid = transfer_grid()
+    fill(grid, store)
+    return store, grid, locator
+
+
+class TestEndpoints:
+    def test_healthz_names_the_deployment(self, warm):
+        store, grid, locator = warm
+        with BackgroundService(store, grid, locator=locator) as svc:
+            health = ServiceClient(svc.url).healthz()
+        assert health == {
+            "ok": True,
+            "kernel": "transfer_cell",
+            "cells": 16,
+            "store": locator,
+        }
+
+    def test_status_reports_the_grid_split(self, warm):
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            status = ServiceClient(svc.url).status()
+        assert status["total"] == 16
+        assert status["done"] == 16
+        assert status["missing"] == 0
+        assert status["failed"] == 0
+        assert status["complete"] is True
+
+    def test_table_matches_direct_render(self, warm):
+        store, grid, _ = warm
+        from repro.analysis.tables import render_table_from_store
+
+        with BackgroundService(store, grid) as svc:
+            table = ServiceClient(svc.url).table()
+        assert table == render_table_from_store(grid, store)
+        assert "Table 3" in table
+
+    def test_engine_table_byte_identical_to_from_store_text(self, tmp_path):
+        grid = engine_grid(**GRID_KWARGS)
+        store = open_store(f"sqlite:{tmp_path / 'engine.db'}")
+        fill(grid, store)
+        with BackgroundService(store, grid) as svc:
+            table = ServiceClient(svc.url).table()
+        assert table == engine_table_text_from_store(store, **GRID_KWARGS)
+
+    def test_cells_lists_every_design_point(self, warm):
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            payload = ServiceClient(svc.url).cells()
+        assert payload["total"] == 16
+        assert len(payload["cells"]) == 16
+        assert all(cell["done"] for cell in payload["cells"])
+        assert [c["key"] for c in payload["cells"]] == list(grid.keys())
+
+    def test_cell_lookup_roundtrips_the_record(self, warm):
+        store, grid, _ = warm
+        key = next(iter(grid.keys()))
+        with BackgroundService(store, grid) as svc:
+            payload = ServiceClient(svc.url).cell(key)
+        assert payload["key"] == key
+        assert payload["value"] == store.get(key)
+        assert payload["meta"]["kernel"] == "transfer_cell"
+
+    def test_unknown_cell_is_404(self, warm):
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            with pytest.raises(ServiceError) as exc_info:
+                ServiceClient(svc.url).cell("no-such-cell")
+        assert exc_info.value.code == 404
+        assert exc_info.value.payload["error"] == "missing"
+        assert exc_info.value.payload["failure"] is None
+
+    def test_quarantined_cell_404_carries_the_failure(self, tmp_path):
+        grid = transfer_grid()
+        store = open_store(f"sqlite:{tmp_path / 'store.db'}")
+        key = next(iter(grid.keys()))
+        store.put_failure(key, FAILURE)
+        with BackgroundService(store, grid) as svc:
+            with pytest.raises(ServiceError) as exc_info:
+                ServiceClient(svc.url).cell(key)
+        assert exc_info.value.code == 404
+        assert exc_info.value.payload["failure"] == FAILURE
+
+    def test_incomplete_store_answers_409_then_degrades(self, tmp_path):
+        grid = transfer_grid()
+        store = open_store(f"fs:{tmp_path / 'store'}")
+        with BackgroundService(store, grid) as svc:
+            client = ServiceClient(svc.url)
+            with pytest.raises(ServiceError) as exc_info:
+                client.table()
+            assert exc_info.value.code == 409
+            assert exc_info.value.payload["error"] == "store incomplete"
+            assert exc_info.value.payload["done"] == 0
+            assert exc_info.value.payload["total"] == 16
+            assert "allow_missing=1" in exc_info.value.payload["hint"]
+            degraded = client.table(allow_missing=True)
+            assert degraded  # renders holes instead of refusing
+
+    def test_service_sees_writes_landing_after_startup(self, tmp_path):
+        """No snapshotting: a stale 409 turns into a table once the
+        sweep finishes, without restarting the service."""
+        grid = transfer_grid()
+        store = open_store(f"sqlite:{tmp_path / 'store.db'}")
+        with BackgroundService(store, grid) as svc:
+            client = ServiceClient(svc.url)
+            assert client.status()["done"] == 0
+            fill(grid, store)
+            assert client.status()["complete"] is True
+            assert "Table 3" in client.table()
+
+    def test_unknown_route_is_404(self, warm):
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            with pytest.raises(ServiceError) as exc_info:
+                ServiceClient(svc.url)._get_json("/v1/nope")
+        assert exc_info.value.code == 404
+
+
+class TestProgressStream:
+    def test_complete_store_streams_one_final_tick(self, warm):
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            ticks = list(
+                ServiceClient(svc.url).progress(interval=0.05, ticks=50)
+            )
+        assert len(ticks) == 1
+        assert ticks[0]["complete"] is True
+        assert ticks[0]["done"] == 16
+        assert ticks[0]["total"] == 16
+
+    def test_stream_follows_an_inflight_sweep(self, tmp_path):
+        grid = transfer_grid()
+        store = open_store(f"sqlite:{tmp_path / 'store.db'}")
+        fn, row_type = kernel_registry()[grid.kernel]
+        cells = list(grid.cells)
+        with BackgroundService(store, grid) as svc:
+            client = ServiceClient(svc.url)
+            stream = client.progress(interval=0.05, ticks=1000)
+            seen = []
+            for tick in stream:
+                seen.append(tick)
+                if tick["complete"]:
+                    break
+                # Play the sweep: land a few more cells between polls.
+                for cell in cells[: 4 * len(seen)]:
+                    store.put(
+                        cell.key,
+                        asdict(fn(cell.as_dict())),
+                        kernel=grid.kernel,
+                        params=cell.as_dict(),
+                    )
+        assert seen[-1]["complete"] is True
+        done = [tick["done"] for tick in seen]
+        assert done == sorted(done)  # progress is monotone
+        assert done[-1] == 16
+        assert all(tick["failed"] == 0 for tick in seen)
+        assert all(tick["elapsed_s"] >= 0 for tick in seen)
+
+    def test_stream_is_chunked_ndjson_on_the_wire(self, warm):
+        """curl-compatibility: plain HTTP, one JSON object per line."""
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            with urlopen(svc.url + "/v1/progress?interval=0.05") as response:
+                assert response.headers["Transfer-Encoding"] == "chunked"
+                assert response.headers["Content-Type"].startswith(
+                    "application/x-ndjson"
+                )
+                lines = [line for line in response if line.strip()]
+        assert json.loads(lines[-1])["complete"] is True
+
+
+class TestConcurrentReaders:
+    def test_many_simultaneous_readers_agree(self, warm):
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            url = svc.url
+
+            def read(_):
+                client = ServiceClient(url)
+                return client.table(), client.status()["done"]
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(read, range(8)))
+        tables = {table for table, _ in results}
+        assert len(tables) == 1
+        assert all(done == 16 for _, done in results)
+
+    def test_readers_do_not_block_the_progress_stream(self, warm):
+        store, grid, _ = warm
+        with BackgroundService(store, grid) as svc:
+            client = ServiceClient(svc.url)
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                stream = pool.submit(
+                    lambda: list(client.progress(interval=0.05))
+                )
+                tables = [pool.submit(client.table) for _ in range(3)]
+                assert stream.result(timeout=10)[-1]["complete"] is True
+                assert len({f.result(timeout=10) for f in tables}) == 1

@@ -118,6 +118,16 @@ class TestResultStore:
         with pytest.raises(TypeError):
             resolve_store(3.14)
 
+    def test_resolve_store_accepts_backend_locators(self, tmp_path):
+        """Locator strings route through repro.perf.backends; any object
+        with the full backend surface passes through untouched."""
+        from repro.perf.backends import SqliteStore
+
+        assert isinstance(resolve_store(f"fs:{tmp_path}"), ResultStore)
+        sqlite_store = resolve_store(f"sqlite:{tmp_path}/store.db")
+        assert isinstance(sqlite_store, SqliteStore)
+        assert resolve_store(sqlite_store) is sqlite_store
+
 
 class TestFailureRecords:
     FAILURE = {
