@@ -65,16 +65,23 @@ def _bench_hierarchy_sweep():
     return run
 
 
+#: The policy set the engine kernels time — pinned so the kernels keep
+#: measuring the same workload as the committed baseline when the
+#: policy registry grows (a new policy changes the *registry*, not what
+#: these numbers mean; the ``fidelity`` policy's own cost is covered by
+#: the fidelity-sweep surface, not a drift gate).
+BENCH_POLICIES = ("belady", "fifo", "lru", "score")
+
+
 def _bench_engine(n_bits: int, depth: int = 3):
-    """The generalized hierarchy engine: a 3-level stack under every
-    registered eviction policy on one adder workload."""
+    """The generalized hierarchy engine: a 3-level stack under the
+    pinned ``BENCH_POLICIES`` set on one adder workload."""
     from repro.circuits.workloads import build_workload
     from repro.core.design_space import (
         ENGINE_CACHE_FACTOR,
         ENGINE_COMPUTE_QUBITS,
     )
     from repro.sim.levels import simulate_hierarchy_run, standard_stack
-    from repro.sim.policies import available_policies
 
     from repro.sim.cache import simulate_optimized
 
@@ -82,7 +89,7 @@ def _bench_engine(n_bits: int, depth: int = 3):
     stack = standard_stack("steane", depth,
                            compute_qubits=ENGINE_COMPUTE_QUBITS,
                            cache_factor=ENGINE_CACHE_FACTOR)
-    policies = available_policies()
+    policies = BENCH_POLICIES
     # The fetch schedule is policy-independent one-time setup; without
     # it the kernel would mostly time the scheduler, not the engine.
     order = simulate_optimized(circuit, stack.levels[0].capacity).order
@@ -124,6 +131,56 @@ def _bench_prefetch(n_bits: int, depth: int = 3):
     return run
 
 
+def _bench_residency_accrual_overhead(n_bits: int = 512, depth: int = 3,
+                                      alternations: int = 2):
+    """The residency recorder's tax on the fastsplit next_k path, as a
+    ratio (recorded / bare - 1).  The bare arm is the exact pre-fidelity
+    engine run — ``recorder=None`` keeps every fast path byte-identical,
+    and the committed *seconds* kernels (``prefetch_3level_next_k_512``,
+    ``engine_3level_policies_512``) gate that fidelity-off side against
+    their unchanged baselines.  The recorded arm attaches a
+    :class:`~repro.sim.residency.ResidencyRecorder` and finishes it,
+    timing the movement log plus the interval-partition build (the
+    Monte Carlo calibration is lru_cached per (code, level) and
+    amortizes to zero across a sweep, so it is excluded).  The arms
+    alternate so clock drift hits both equally; the committed baseline
+    pins the honest measured tax and ``OVERHEAD_SLACK`` bounds its
+    drift."""
+    from repro.circuits.workloads import build_workload
+    from repro.core.design_space import (
+        ENGINE_CACHE_FACTOR,
+        ENGINE_COMPUTE_QUBITS,
+    )
+    from repro.sim.cache import simulate_optimized
+    from repro.sim.levels import simulate_hierarchy_run, standard_stack
+    from repro.sim.residency import ResidencyRecorder
+
+    circuit = build_workload("draper_adder", n_bits)
+    stack = standard_stack("steane", depth,
+                           compute_qubits=ENGINE_COMPUTE_QUBITS,
+                           cache_factor=ENGINE_CACHE_FACTOR)
+    order = simulate_optimized(circuit, stack.levels[0].capacity).order
+
+    def run():
+        bare = recorded = None
+        for _ in range(alternations):
+            t0 = time.perf_counter()
+            simulate_hierarchy_run(stack, circuit, order=order,
+                                   prefetch="next_k")
+            elapsed = time.perf_counter() - t0
+            bare = elapsed if bare is None else min(bare, elapsed)
+            t0 = time.perf_counter()
+            rec = ResidencyRecorder()
+            result = simulate_hierarchy_run(stack, circuit, order=order,
+                                            prefetch="next_k", recorder=rec)
+            rec.finish(result.total_time_s)
+            elapsed = time.perf_counter() - t0
+            recorded = elapsed if recorded is None else min(recorded, elapsed)
+        return recorded / bare - 1.0
+
+    return run
+
+
 def _bench_engine_replay_speedup(n_bits: int = 512, depth: int = 3,
                                  alternations: int = 2):
     """The traffic/price factorization payoff on the reservation-model
@@ -145,13 +202,12 @@ def _bench_engine_replay_speedup(n_bits: int = 512, depth: int = 3,
         simulate_hierarchy_run_audited,
         standard_stack,
     )
-    from repro.sim.policies import available_policies
 
     circuit = build_workload("draper_adder", n_bits)
     stack = standard_stack("steane", depth,
                            compute_qubits=ENGINE_COMPUTE_QUBITS,
                            cache_factor=ENGINE_CACHE_FACTOR)
-    policies = available_policies()
+    policies = BENCH_POLICIES
     order = simulate_optimized(circuit, stack.levels[0].capacity).order
 
     def run():
@@ -559,6 +615,7 @@ def kernel_set(quick: bool):
             "prefetch_3level_next_k_512": _bench_prefetch(512),
             "sweep_store_roundtrip_x20": _bench_sweep_store(20),
             "supervised_runner_overhead": _bench_supervised_overhead(),
+            "residency_accrual_overhead": _bench_residency_accrual_overhead(),
             "engine_replay_speedup": _bench_engine_replay_speedup(512),
             "batched_vs_percell_codepairs_speedup":
                 _bench_batched_codepairs_speedup(),
@@ -581,6 +638,7 @@ def kernel_set(quick: bool):
         "prefetch_3level_next_k_512": _bench_prefetch(512),
         "sweep_store_roundtrip_x20": _bench_sweep_store(20),
         "supervised_runner_overhead": _bench_supervised_overhead(),
+        "residency_accrual_overhead": _bench_residency_accrual_overhead(),
         "engine_replay_speedup": _bench_engine_replay_speedup(512),
         "batched_vs_percell_codepairs_speedup":
             _bench_batched_codepairs_speedup(),
@@ -699,10 +757,16 @@ SPEEDUP_FLOORS = {
 #: the same logic applies: what the PR promises is "a warm-store table
 #: query over HTTP answers in well under a second", and millisecond
 #: best-of latencies are all noise against a drift budget.
+#: The residency-recorder kernel divides two sub-second engine arms and
+#: swings ~0.2-0.35 run to run; the promise is "recording residency
+#: costs less than half the bare run" (fidelity-*off* runs pay nothing —
+#: the unchanged engine seconds kernels gate that side), so the half
+#: bar gates rather than a drift band around a noisy ratio.
 OVERHEAD_CEILINGS = {
     "batched_codepairs_scaling_overhead": 1.0,
     "supervised_runner_overhead": 0.25,
     "service_table_query_overhead": 0.5,
+    "residency_accrual_overhead": 0.5,
 }
 
 

@@ -19,11 +19,13 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.design_space import (
     EngineRow,
+    FidelityRow,
     HierarchyRow,
     SpecializationRow,
     TransferRow,
     engine_sweep,
     hierarchy_sweep,
+    pareto_rows,
     specialization_sweep,
     transfer_sweep,
 )
@@ -407,9 +409,143 @@ def engine_table_text_from_store(
     )
 
 
+# ----------------------------------------------------------------------
+# Extension — time-vs-fidelity pareto (noise-aware residency)
+# ----------------------------------------------------------------------
+
+def fidelity_table(**kwargs) -> List[FidelityRow]:
+    """Rows of the noise-aware engine sweep (the ``fidelity`` axis).
+
+    Keyword arguments pass straight through to
+    :func:`repro.core.design_space.engine_sweep`; ``fidelity`` defaults
+    to ``True`` (the shared Monte Carlo calibration budget) instead of
+    off.
+    """
+    kwargs.setdefault("fidelity", True)
+    return engine_sweep(**kwargs)
+
+
+def fidelity_table_from_store(
+    store, *, allow_missing: bool = False, **grid_kwargs
+) -> List[FidelityRow]:
+    """Fidelity-sweep rows read straight from a sharded-sweep store.
+
+    ``grid_kwargs`` select the grid exactly as for
+    :func:`repro.core.design_space.fidelity_grid` (including the
+    ``fidelity_trials``/``fidelity_seed`` budget, which is part of cell
+    identity).  Missing-cell semantics match
+    :func:`engine_table_from_store`.
+    """
+    from ..core.design_space import fidelity_grid
+    from ..sweep.runner import rows_from_store
+
+    return rows_from_store(
+        fidelity_grid(**grid_kwargs), FidelityRow, store,
+        allow_missing=allow_missing,
+    )
+
+
+def _render_fidelity_table(
+    rows: List[Optional[FidelityRow]], grid=None, store=None
+) -> str:
+    """The time-vs-fidelity table; ``*`` marks the Pareto front.
+
+    The front is computed per problem instance — each (workload, bits)
+    group, since everything else on the row (stack codes, depth,
+    policy, prefetcher, port width) is a design choice — by
+    :func:`repro.core.design_space.pareto_rows`.  ``None`` rows degrade
+    exactly as in :func:`_render_engine_table`.
+    """
+    groups: Dict[Tuple[str, int], List[FidelityRow]] = {}
+    for row in rows:
+        if row is not None:
+            groups.setdefault((row.workload, row.n_bits), []).append(row)
+    on_front = set()
+    for group in groups.values():
+        on_front.update(id(row) for row in pareto_rows(group))
+    body = []
+    footer = []
+    for index, row in enumerate(rows):
+        if row is not None:
+            code = row.code_key
+            if row.memory_code_key != row.code_key:
+                code = f"{row.code_key}/{row.memory_code_key}"
+            body.append([
+                row.workload, row.n_bits, code, row.depth, row.policy,
+                row.prefetch, row.makespan_s, row.logical_error,
+                row.transit_error,
+                "*" if id(row) in on_front else "",
+            ])
+            continue
+        params = grid.cells[index].as_dict() if grid is not None else {}
+        code = params.get("code_key", "?")
+        if params.get("memory_code_key", code) != code:
+            code = f"{code}/{params['memory_code_key']}"
+        body.append([
+            params.get("workload", "?"), params.get("n_bits", "?"), code,
+            params.get("depth", "?"), params.get("policy", "?"),
+            params.get("prefetch", "?"), "—", "—", "—", "",
+        ])
+        if grid is not None and store is not None:
+            from ..perf.store import resolve_store
+
+            record = resolve_store(store).failure(grid.cells[index].key)
+            failure = (record or {}).get("failure", {})
+            footer.append(
+                f"  missing {grid.cells[index].key}: "
+                + (
+                    f"{failure.get('kind', '?')} "
+                    f"({failure.get('exception_type', '?')} after "
+                    f"{failure.get('attempts', '?')} attempt(s))"
+                    if record
+                    else "no record (never computed, or torn)"
+                )
+            )
+    text = format_table(
+        ["workload", "bits", "code", "depth", "policy", "prefetch",
+         "makespan", "logical err", "transit err", "pareto"],
+        body,
+        title=("Extension: time vs fidelity "
+               "(* = pareto front within each workload x bits group)"),
+    )
+    text += ("\n(* marks rows no other design in the group beats on both "
+             "makespan and logical error)")
+    holes = sum(1 for row in rows if row is None)
+    if holes:
+        text += f"\n({holes} cell(s) missing/quarantined, rendered as —)"
+        if footer:
+            text += "\n" + "\n".join(footer)
+    return text
+
+
+def fidelity_table_text(**kwargs) -> str:
+    """The time-vs-fidelity design space rendered like the paper tables.
+
+    Each row prices one engine cell in both domains: ``makespan`` is
+    the unchanged engine completion time, ``logical err`` the
+    residency-accrued failure probability, and ``*`` marks the rows on
+    the group's time-vs-fidelity Pareto front.
+    """
+    return _render_fidelity_table(fidelity_table(**kwargs))
+
+
+def fidelity_table_text_from_store(
+    store, *, allow_missing: bool = False, **grid_kwargs
+) -> str:
+    """:func:`fidelity_table_text`, but rendered from stored records only."""
+    from ..core.design_space import fidelity_grid
+
+    return render_table_from_store(
+        fidelity_grid(**grid_kwargs), store, allow_missing=allow_missing
+    )
+
+
 #: Grid kernels with a registered table renderer (grid, rows -> text).
 _STORE_RENDERERS = {
     "engine_cell": lambda grid, rows, store: _render_engine_table(
+        rows, grid=grid, store=store
+    ),
+    "fidelity_cell": lambda grid, rows, store: _render_fidelity_table(
         rows, grid=grid, store=store
     ),
     "transfer_cell": lambda grid, rows, store: _render_table3(rows),

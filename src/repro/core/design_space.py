@@ -28,6 +28,7 @@ from functools import lru_cache
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..perf.memo import resolve_cache, stable_key
+from ..sim.residency import FIDELITY_SEED, FIDELITY_TRIALS
 from ..sweep.grid import Cell, Grid
 from ..sweep.runner import compute_grid, persist_rows
 from .cqla import CqlaDesign
@@ -409,6 +410,12 @@ ENGINE_TRANSFER_OPTIONS = (10,)
 #: or ``--code-pairs bacon_shor:steane`` on the sharded CLI — to add
 #: the mixed axis.
 ENGINE_CODE_PAIRS: Tuple[Tuple[str, str], ...] = ()
+
+#: Default Monte Carlo calibration budget of the fidelity axis — the
+#: shared :mod:`repro.sim.residency` defaults, re-exported so grid
+#: builders, the CLI, and in-process sweeps agree on cell identity.
+ENGINE_FIDELITY_TRIALS = FIDELITY_TRIALS
+ENGINE_FIDELITY_SEED = FIDELITY_SEED
 
 
 @dataclass(frozen=True)
@@ -814,6 +821,7 @@ def engine_sweep(
     supervise=None,
     batched: bool = False,
     trace_cache=None,
+    fidelity=None,
 ) -> List[EngineRow]:
     """Evaluate the generalized engine over its design axes.
 
@@ -837,6 +845,18 @@ def engine_sweep(
     :func:`repro.perf.tracecache.resolve_trace_cache` for accepted
     values) persists each group's movement trace, so a re-run or
     resume with a warm cache performs zero traffic simulation.
+
+    ``fidelity`` adds the noise-aware axis: pass ``True`` (the default
+    :data:`ENGINE_FIDELITY_TRIALS`/:data:`ENGINE_FIDELITY_SEED` Monte
+    Carlo budget) or a ``{"trials": ..., "seed": ...}`` mapping, and
+    every cell runs with a residency recorder attached, returning
+    :class:`FidelityRow` rows (``EngineRow`` plus ``logical_error`` and
+    its breakdown) under a distinct memo key and grid kernel
+    (``fidelity_cell``).  ``fidelity=None`` leaves the sweep —
+    including its memo key and store records — byte-identical to a
+    pre-fidelity build.  Fidelity runs are per-cell simulations;
+    ``batched=True`` is rejected (the batched replayer prices traffic
+    without qubit identity, so it cannot record residency).
     """
     if trace_cache is not None and not batched:
         raise ValueError("trace_cache requires batched=True")
@@ -846,34 +866,189 @@ def engine_sweep(
         policies = available_policies()
     code_pairs = _normalize_code_pairs(code_pairs)
     memo = resolve_cache(cache)
-    key = stable_key(
-        "engine_sweep", workloads=list(workloads), sizes=list(sizes),
-        code_keys=list(code_keys), depths=list(depths),
-        policies=list(policies), prefetches=list(prefetches),
-        transfer_options=list(transfer_options),
-        compute_qubits=compute_qubits, cache_factor=cache_factor,
-        code_pairs=[list(pair) for pair in code_pairs],
-    )
-    grid = engine_grid(
-        workloads, sizes, code_keys, depths, policies, prefetches,
-        transfer_options, compute_qubits, cache_factor, code_pairs,
-    )
+    if fidelity:
+        if batched:
+            raise ValueError(
+                "fidelity sweeps run per-cell (the batched replayer has "
+                "no qubit identity to record residency from); drop "
+                "batched=True"
+            )
+        trials, seed = _fidelity_budget(fidelity)
+        key = stable_key(
+            "engine_sweep", workloads=list(workloads), sizes=list(sizes),
+            code_keys=list(code_keys), depths=list(depths),
+            policies=list(policies), prefetches=list(prefetches),
+            transfer_options=list(transfer_options),
+            compute_qubits=compute_qubits, cache_factor=cache_factor,
+            code_pairs=[list(pair) for pair in code_pairs],
+            fidelity_trials=trials, fidelity_seed=seed,
+        )
+        grid = fidelity_grid(
+            workloads, sizes, code_keys, depths, policies, prefetches,
+            transfer_options, compute_qubits, cache_factor, code_pairs,
+            fidelity_trials=trials, fidelity_seed=seed,
+        )
+        cell_fn, row_type = fidelity_cell, FidelityRow
+    else:
+        key = stable_key(
+            "engine_sweep", workloads=list(workloads), sizes=list(sizes),
+            code_keys=list(code_keys), depths=list(depths),
+            policies=list(policies), prefetches=list(prefetches),
+            transfer_options=list(transfer_options),
+            compute_qubits=compute_qubits, cache_factor=cache_factor,
+            code_pairs=[list(pair) for pair in code_pairs],
+        )
+        grid = engine_grid(
+            workloads, sizes, code_keys, depths, policies, prefetches,
+            transfer_options, compute_qubits, cache_factor, code_pairs,
+        )
+        cell_fn, row_type = engine_cell, EngineRow
     if memo is not None:
         hit = memo.get(key)
         if hit is not None:
             try:
-                rows = [EngineRow(**row) for row in hit]
+                rows = [row_type(**row) for row in hit]
             except TypeError:
                 pass  # malformed persisted entry: fall through, recompute
             else:
                 persist_rows(grid, rows, store)
                 return rows
     rows = compute_grid(
-        grid, engine_cell, EngineRow,
+        grid, cell_fn, row_type,
         store=store, workers=workers, supervise=supervise,
         batch=engine_batch_spec(trace_cache) if batched else None,
     )
     if memo is not None and all(row is not None for row in rows):
         memo.put(key, [asdict(row) for row in rows])
     return rows
+
+
+# ----------------------------------------------------------------------
+# fidelity axis: noise-aware cells and the time-vs-fidelity front
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FidelityRow(EngineRow):
+    """One noise-aware engine cell: an :class:`EngineRow` plus fidelity.
+
+    ``logical_error`` is the survival-model probability that at least
+    one logical failure occurred anywhere in the run (see
+    :func:`repro.sim.residency.accrue_residency`); ``level_errors[l]``
+    and ``transit_error`` are the isolated per-level and in-flight
+    contributions.  ``fidelity_trials``/``fidelity_seed`` pin the Monte
+    Carlo calibration budget into the row (and the cell hash), so rows
+    from different budgets can never be conflated.
+    """
+
+    fidelity_trials: int
+    fidelity_seed: int
+    logical_error: float
+    level_errors: Tuple[float, ...]
+    transit_error: float
+
+    def __post_init__(self) -> None:
+        # Store records round-trip through JSON, which turns the tuple
+        # into a list; coerce back so reconstructed rows compare equal.
+        object.__setattr__(self, "level_errors", tuple(self.level_errors))
+
+
+def _fidelity_budget(fidelity) -> Tuple[int, int]:
+    """The (trials, seed) Monte Carlo budget a ``fidelity=`` value selects."""
+    if fidelity is True:
+        return ENGINE_FIDELITY_TRIALS, ENGINE_FIDELITY_SEED
+    return (
+        int(fidelity.get("trials", ENGINE_FIDELITY_TRIALS)),
+        int(fidelity.get("seed", ENGINE_FIDELITY_SEED)),
+    )
+
+
+def fidelity_cell(params: Mapping[str, Any]) -> FidelityRow:
+    """One fidelity cell; module-level so worker processes can pickle it.
+
+    The engine run underneath is the exact :func:`engine_cell` run —
+    the recorder only observes it — so every shared field of the
+    resulting row is bit-identical to the ``engine_cell`` row of the
+    same engine parameters.
+    """
+    from ..circuits.workloads import build_workload
+    from ..sim.residency import simulate_fidelity_run
+
+    circuit = build_workload(params["workload"], params["n_bits"])
+    stack = _engine_stack(params)
+    order = _fetch_order(
+        params["workload"], params["n_bits"],
+        params["compute_qubits"], params["cache_factor"],
+    )
+    run, fid = simulate_fidelity_run(
+        stack, circuit, params["policy"], order=order,
+        prefetch=params["prefetch"],
+        trials=params["fidelity_trials"], seed=params["fidelity_seed"],
+    )
+    return FidelityRow(
+        **asdict(_engine_row(params, run)),
+        fidelity_trials=params["fidelity_trials"],
+        fidelity_seed=params["fidelity_seed"],
+        logical_error=fid.logical_error,
+        level_errors=fid.level_errors,
+        transit_error=fid.transit_error,
+    )
+
+
+def fidelity_grid(
+    workloads: Sequence[str] = ENGINE_WORKLOADS,
+    sizes: Sequence[int] = ENGINE_SIZES,
+    code_keys: Sequence[str] = ENGINE_CODE_KEYS,
+    depths: Sequence[int] = ENGINE_DEPTHS,
+    policies: Optional[Sequence[str]] = None,
+    prefetches: Sequence[str] = ENGINE_PREFETCHERS,
+    transfer_options: Sequence[int] = ENGINE_TRANSFER_OPTIONS,
+    compute_qubits: int = ENGINE_COMPUTE_QUBITS,
+    cache_factor: float = ENGINE_CACHE_FACTOR,
+    code_pairs: Sequence[Sequence[str]] = ENGINE_CODE_PAIRS,
+    fidelity_trials: int = ENGINE_FIDELITY_TRIALS,
+    fidelity_seed: int = ENGINE_FIDELITY_SEED,
+) -> Grid:
+    """The canonical fidelity-sweep cell enumeration.
+
+    Cell-for-cell the :func:`engine_grid` enumeration with the Monte
+    Carlo budget folded into every cell's parameters (and so its
+    content hash), under the ``fidelity_cell`` kernel.
+    """
+    base = engine_grid(
+        workloads, sizes, code_keys, depths, policies, prefetches,
+        transfer_options, compute_qubits, cache_factor, code_pairs,
+    )
+    cells = tuple(
+        Cell.make(
+            "fidelity_cell",
+            fidelity_trials=fidelity_trials,
+            fidelity_seed=fidelity_seed,
+            **cell.as_dict(),
+        )
+        for cell in base.cells
+    )
+    return Grid("fidelity_cell", cells)
+
+
+def pareto_rows(rows: Sequence[FidelityRow]) -> List[FidelityRow]:
+    """The time-vs-fidelity Pareto front of a fidelity row set.
+
+    A row is on the front when no other row is at least as fast *and*
+    at least as reliable (with one of the two strictly better).  Rows
+    come back sorted by ascending makespan; ties in makespan keep only
+    the most reliable row.  ``None`` entries (quarantined cells from a
+    supervised sweep) are ignored.
+    """
+    ordered = sorted(
+        (row for row in rows if row is not None),
+        key=lambda row: (row.makespan_s, row.logical_error),
+    )
+    front: List[FidelityRow] = []
+    best = math.inf
+    for row in ordered:
+        if row.logical_error < best:
+            front.append(row)
+            best = row.logical_error
+    return front
 

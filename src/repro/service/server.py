@@ -15,6 +15,7 @@ Endpoints (all JSON unless noted):
   the store (plus the trace-cache summary when one is attached).
 * ``GET /v1/table[?allow_missing=1]`` — the rendered table
   (``text/plain``): the engine design-space table for ``engine_cell``
+  grids, the time-vs-fidelity pareto table for ``fidelity_cell``
   grids, Table 3 for ``transfer_cell`` grids.  An incomplete store
   answers **409** with the missing count unless ``allow_missing=1``
   explicitly opts into a degraded render — the service never silently

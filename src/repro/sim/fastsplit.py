@@ -97,6 +97,7 @@ def simulate_split_fast(
     order: Sequence[int],
     policy: str,
     prefetch: str,
+    recorder=None,
 ) -> HierarchyEngineResult:
     """One split-transaction engine run, flattened.
 
@@ -106,6 +107,12 @@ def simulate_split_fast(
     needing the :class:`~repro.sim.levels.EngineAudit` use
     :func:`~repro.sim.levels.simulate_hierarchy_run_audited`, which
     always runs the reference.
+
+    ``recorder`` (a :class:`~repro.sim.residency.ResidencyRecorder`)
+    observes completed hops at their completion events — the same
+    ``end - duration`` span arithmetic as the reference engine, so the
+    recorded intervals are bit-identical across the two dialects.
+    Recording never touches the engine's floats.
     """
     program = _scan_program(circuit, order)
     trace = program.trace
@@ -231,6 +238,9 @@ def simulate_split_fast(
     avail = [0.0] * n_qubits
     for q in program.touched:
         location[q] = bottom
+    if recorder is not None:
+        recorder.begin({q: bottom for q in program.touched})
+    rec = None if recorder is None else recorder.transfer
     moving: dict = {}
     in_flight_up: dict = {}
     pinned: Set[int] = set()
@@ -373,6 +383,8 @@ def simulate_split_fast(
         owner = req[5]
         if req[4] == _K_HOP:
             fetches[k] += 1
+            if rec is not None:
+                rec(owner[1], k + 1, k, t - demote[k], t, k)
             owner[3] = None
             if k == 0:
                 q = owner[1]
@@ -385,6 +397,8 @@ def simulate_split_fast(
                 _hop(owner, k - 1, t)
         else:
             writebacks[k] += 1
+            if rec is not None:
+                rec(owner[2], k, k + 1, t - promote[k], t, k)
             _movement_done(owner[2], t)
             nxt = owner[5]
             if nxt is not None:
@@ -631,6 +645,8 @@ def simulate_split_fast(
     # is the compute-level completion time).
     while events:
         _step()
+    if recorder is not None:
+        recorder.finish(compute_free)
 
     # --- result --------------------------------------------------------
     occupancy = [0] * stack.depth

@@ -397,6 +397,13 @@ class EngineAudit:
     prefetches_vetoed: int
     pinned_evictions: int
     conservation_ok: bool
+    #: Residency-recorder invariants (defaults when no recorder ran):
+    #: time inversions monotonized away (reservation dialect only),
+    #: source-level disagreements (an accounting bug; always 0), and
+    #: the exact interval-partition check over every qubit's timeline.
+    residency_clamped: int = 0
+    residency_mismatches: int = 0
+    residency_partition_ok: bool = True
 
 
 # ----------------------------------------------------------------------
@@ -460,6 +467,7 @@ def simulate_hierarchy_run(
     order: Optional[Sequence[int]] = None,
     prefetch: str = "none",
     pipeline: Optional[bool] = None,
+    recorder=None,
 ) -> HierarchyEngineResult:
     """Simulate ``workload`` on the compute level of ``stack``.
 
@@ -483,6 +491,13 @@ def simulate_hierarchy_run(
     window), never on the eviction policy — callers comparing policies
     can compute ``simulate_optimized(circuit, capacity).order`` once
     and pass it as ``order`` to skip redundant scheduling runs.
+
+    ``recorder`` (a :class:`~repro.sim.residency.ResidencyRecorder`)
+    observes per-qubit residency intervals; with one attached the
+    reservation model runs the event-kernel engine instead of the
+    replay pricer (its makespan is pinned bit-identical), and every
+    returned float is unchanged — recording never touches engine
+    arithmetic.
 
     This entry point runs the *fast* engines — the reservation model
     through :mod:`repro.sim.replay` (extract the movement trace, price
@@ -511,13 +526,23 @@ def simulate_hierarchy_run(
 
         if supports_fast_split(policy, prefetch):
             return simulate_split_fast(
-                stack, circuit, order, policy, prefetch
+                stack, circuit, order, policy, prefetch, recorder=recorder
             )
         run = _SplitTransactionRun(
             stack, circuit, order, circuit.operand_trace(order), policy,
             [make_policy(policy) for _ in stack.levels[:-1]], prefetch,
+            recorder=recorder,
         )
         return run.run()[0]
+    if recorder is not None:
+        # The movement trace has no qubit identities, so a recorded
+        # reservation run goes through the event-kernel engine (its
+        # makespan is pinned bit-identical to the replay pricer).
+        return _run_reservation(
+            stack, circuit, order, circuit.operand_trace(order), policy,
+            [make_policy(policy) for _ in stack.levels[:-1]],
+            recorder=recorder,
+        )[0]
     from .replay import _extract, _scan_program, price_movement_trace
 
     movement = _extract(stack, circuit, policy, _scan_program(circuit, order))
@@ -534,8 +559,13 @@ def simulate_hierarchy_run_audited(
     order: Optional[Sequence[int]] = None,
     prefetch: str = "none",
     pipeline: Optional[bool] = None,
+    recorder=None,
 ) -> Tuple[HierarchyEngineResult, EngineAudit]:
-    """:func:`simulate_hierarchy_run` plus the :class:`EngineAudit`."""
+    """:func:`simulate_hierarchy_run` plus the :class:`EngineAudit`.
+
+    With a ``recorder`` attached the audit's ``residency_*`` fields are
+    filled from the finished recorder's invariant checks.
+    """
     circuit = _resolve_workload(workload)
     if not circuit.gates:
         raise ValueError("cannot simulate an empty circuit")
@@ -555,11 +585,13 @@ def simulate_hierarchy_run_audited(
     trace = circuit.operand_trace(order)
     if pipeline:
         run = _SplitTransactionRun(
-            stack, circuit, order, trace, policy, level_policies, prefetch
+            stack, circuit, order, trace, policy, level_policies, prefetch,
+            recorder=recorder,
         )
         return run.run()
     return _run_reservation(
-        stack, circuit, order, trace, policy, level_policies
+        stack, circuit, order, trace, policy, level_policies,
+        recorder=recorder,
     )
 
 
@@ -574,13 +606,17 @@ def _run_reservation(
     trace: Sequence[int],
     policy_name: str,
     level_policies: list,
+    recorder=None,
 ) -> Tuple[HierarchyEngineResult, EngineAudit]:
     """The PR 2 time model on :class:`~repro.sim.events.PortServer`.
 
     Ports are greedily reserved at scan time and the paired write-back
     of an evicted qubit holds the arrival port — exactly the retained
     sequential loop's arithmetic, so every float matches
-    :func:`simulate_hierarchy_run_reference` bit for bit.
+    :func:`simulate_hierarchy_run_reference` bit for bit.  A
+    ``recorder`` only observes the already-computed reservation times
+    (scan order is not per-qubit causal here — the recorder's
+    clamp-truncation handles the inversions).
     """
     gates = circuit.gates
     top = stack.levels[0]
@@ -599,6 +635,9 @@ def _run_reservation(
     ]
 
     location = {q: bottom for q in circuit.touched_qubits()}
+    if recorder is not None:
+        recorder.begin(location)
+    rec = None if recorder is None else recorder.transfer
     fetches = [0] * len(networks)
     writebacks = [0] * len(networks)
     bottom_hits = 0
@@ -639,6 +678,8 @@ def _run_reservation(
                 start = servers[k].reserve(prev, demote[k])
                 prev = start + demote[k]
                 fetches[k] += 1
+                if rec is not None:
+                    rec(q, k + 1, k, start, prev, k)
             # The eviction decision precedes the final-hop reservation
             # (it does not touch the ports) so the paired write-back's
             # port hold can be reserved in one step.
@@ -649,6 +690,8 @@ def _run_reservation(
             start = servers[0].reserve(prev, demote[0], hold)
             arrival = start + demote[0]
             fetches[0] += 1
+            if rec is not None:
+                rec(q, 1, 0, start, arrival, 0)
             if evicted is not None:
                 # The paired write-back of the evicted qubit keeps the
                 # arrival port busy after the demotion completes.
@@ -656,6 +699,8 @@ def _run_reservation(
                 location[evicted] = 1
                 victim = evicted
                 available = arrival + promote[0]
+                if rec is not None:
+                    rec(evicted, 0, 1, arrival, available, 0)
                 lvl = 1
                 while lvl < bottom:
                     bumped = caches[lvl].insert(victim, pos)
@@ -665,6 +710,8 @@ def _run_reservation(
                     location[bumped] = lvl + 1
                     start2 = servers[lvl].reserve(available, promote[lvl])
                     available = start2 + promote[lvl]
+                    if rec is not None:
+                        rec(bumped, lvl, lvl + 1, start2, available, lvl)
                     victim = bumped
                     lvl += 1
             if arrival > arrivals:
@@ -695,14 +742,28 @@ def _run_reservation(
         fetches=tuple(fetches),
         writebacks=tuple(writebacks),
     )
+    if recorder is not None:
+        recorder.finish(compute_free)
     audit = EngineAudit(
         port_lanes=tuple(s.lanes for s in servers),
         port_peak_concurrency=tuple(s.max_concurrency() for s in servers),
         prefetches_vetoed=0,
         pinned_evictions=0,
         conservation_ok=_check_conservation(stack, caches, location),
+        **_residency_audit(recorder),
     )
     return result, audit
+
+
+def _residency_audit(recorder) -> Dict[str, object]:
+    """The audit's ``residency_*`` keywords from a finished recorder."""
+    if recorder is None:
+        return {}
+    return {
+        "residency_clamped": recorder.clamped,
+        "residency_mismatches": recorder.mismatches,
+        "residency_partition_ok": recorder.partition_ok(),
+    }
 
 
 def _collect_level_stats(
@@ -824,6 +885,7 @@ class _SplitTransactionRun:
         policy_name: str,
         level_policies: list,
         prefetch_name: str,
+        recorder=None,
     ) -> None:
         self.stack = stack
         self.circuit = circuit
@@ -849,6 +911,10 @@ class _SplitTransactionRun:
         ]
         touched = circuit.touched_qubits()
         self.location = {q: self.bottom for q in touched}
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.begin(self.location)
+        self._rec = None if recorder is None else recorder.transfer
         self.avail = {q: 0.0 for q in touched}
         #: Per-qubit queue of movements waiting on the active one; a
         #: qubit is present exactly while some movement is unfinished.
@@ -915,6 +981,10 @@ class _SplitTransactionRun:
     ) -> None:
         def done(end: float) -> None:
             self.fetches[k] += 1
+            if self._rec is not None:
+                self._rec(
+                    fetch.qubit, k + 1, k, end - self.demote[k], end, k
+                )
             fetch.pending = None
             if k == 0:
                 q = fetch.qubit
@@ -955,6 +1025,11 @@ class _SplitTransactionRun:
 
                 def done(end: float) -> None:
                     self.writebacks[net_k] += 1
+                    if self._rec is not None:
+                        self._rec(
+                            victim, net_k, net_k + 1,
+                            end - self.promote[net_k], end, net_k,
+                        )
                     self._movement_done(victim, end)
                     done_trigger.fire(end)
 
@@ -1115,6 +1190,8 @@ class _SplitTransactionRun:
         # Let trailing write-backs land so the audit sees settled state;
         # the makespan is the compute-level completion, as in PR 2.
         self.kernel.run()
+        if self.recorder is not None:
+            self.recorder.finish(compute_free)
 
         level_stats = _collect_level_stats(
             self.stack, caches, self.location, self.bottom_hits
@@ -1152,6 +1229,7 @@ class _SplitTransactionRun:
             prefetches_vetoed=self.prefetches_vetoed,
             pinned_evictions=self.pinned_evictions,
             conservation_ok=conservation,
+            **_residency_audit(self.recorder),
         )
         return result, audit
 

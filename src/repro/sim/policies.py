@@ -2,7 +2,7 @@
 
 Replacement at every finite level of a :class:`~repro.sim.levels.HierarchyStack`
 is delegated to an :class:`EvictionPolicy` looked up in a registry by
-name.  Four policies ship with the engine:
+name.  Five policies ship with the engine:
 
 * ``lru`` — least recently used, the policy of the paper's Section 5.2
   cache study (and of the original two-level simulator, to which it is
@@ -16,7 +16,11 @@ name.  Four policies ship with the engine:
   compile-time information, not an oracle;
 * ``belady`` — Belady's optimal offline replacement (evict the qubit
   whose next use is farthest in the future), the upper bound every
-  online policy is measured against.
+  online policy is measured against;
+* ``fidelity`` — evict the qubit that can best afford the trip: fewest
+  accumulated transfers first (each climb of the hierarchy accrues
+  in-flight error under :mod:`repro.sim.residency`), ties broken
+  Belady-style toward the farthest next use.
 
 Policies observe the flattened operand *trace* of the scheduled program
 at reset time and receive the current trace position with every event,
@@ -258,6 +262,83 @@ class BeladyPolicy(_RecencyOrdered):
                 best, best_dist = qubit, dist
         if best is None:  # unsatisfiable pin: fall back
             return next(iter(self._order))
+        return best
+
+
+@register_policy
+class FidelityPolicy(_RecencyOrdered):
+    """Evict the qubit that can best afford the trip.
+
+    Under noise-aware residency (:mod:`repro.sim.residency`) every
+    transfer costs fidelity: an in-flight qubit accrues error at the
+    worse endpoint's rate, so the qubit with the fewest accumulated
+    trips has the most error budget left for one more.  Victims are
+    ranked by (insertion count so far, then *farthest* next use, then
+    LRU order) — the last two mirror Belady so the policy spends its
+    fidelity-driven choices where the time cost is smallest.  Like
+    ``score``/``belady``, the trip counts derive from the static
+    schedule the engine replays, not from runtime oracle knowledge.
+    """
+
+    name = "fidelity"
+
+    def reset(self, capacity: int, trace: Sequence[int]) -> None:
+        super().reset(capacity, trace)
+        self._index = TraceIndex.build(trace)
+        #: Lifetime insertion counts — the ledger persists across
+        #: evictions so a re-fetched qubit is charged its history.
+        self._trips: Dict[int, int] = {}
+        #: trip count -> number of *current* residents at it, so the
+        #: minimal trip class is known without scanning the order.
+        self._resident_trips: Dict[int, int] = {}
+
+    def on_insert(self, qubit: int, pos: int) -> None:
+        super().on_insert(qubit, pos)
+        # Every insertion at this level is one completed (or issued)
+        # climb of the hierarchy — the trip ledger the victim ranking
+        # charges against.
+        count = self._trips.get(qubit, 0) + 1
+        self._trips[qubit] = count
+        tally = self._resident_trips
+        tally[count] = tally.get(count, 0) + 1
+
+    def on_remove(self, qubit: int) -> None:
+        super().on_remove(qubit)
+        count = self._trips[qubit]
+        tally = self._resident_trips
+        remaining = tally[count] - 1
+        if remaining:
+            tally[count] = remaining
+        else:
+            del tally[count]
+
+    def victim(self, pos: int, pinned: Collection[int] = ()) -> int:
+        # The tally pins down the minimal trip class, so the next-use
+        # lookups (the expensive part) only run for its members — a
+        # pinned resident can hide the class, in which case the scan
+        # recomputes the minimum the slow way.
+        trips = self._trips
+        if pinned:
+            fewest = None
+            for qubit in self._order:
+                if qubit not in pinned:
+                    count = trips[qubit]
+                    if fewest is None or count < fewest:
+                        fewest = count
+            if fewest is None:  # unsatisfiable pin: fall back
+                return next(iter(self._order))
+        else:
+            fewest = min(self._resident_trips)
+        best = None
+        best_dist = -1.0
+        for qubit in self._order:  # LRU-first iteration breaks ties
+            if qubit in pinned or trips[qubit] != fewest:
+                continue
+            dist = self._index.next_use(qubit, pos)
+            if dist == _NEVER:
+                return qubit
+            if dist > best_dist:
+                best, best_dist = qubit, dist
         return best
 
 

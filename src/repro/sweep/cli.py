@@ -1,4 +1,4 @@
-"""Worker CLI for sharded sweeps: ``run``/``status``/``merge``/``resume``/``serve``.
+"""Worker CLI for sharded sweeps: ``run``/``status``/``merge``/``resume``/``serve``/``table``.
 
 The distributed workflow over the engine design space
 (:func:`repro.core.design_space.engine_grid`)::
@@ -92,6 +92,10 @@ _ENGINE_ONLY = (
 #: Options the Table 3 (transfer_cell) grid does not take either.
 _TABLE45_ONLY = ("sizes", "transfers")
 
+#: Fidelity-grid-only options (dest names); the other kernels reject
+#: them the same way.
+_FIDELITY_ONLY = ("fidelity_trials", "fidelity_seed")
+
 
 def _parse_code_pair(spec: str):
     """One ``compute:memory`` mixed-stack axis entry, fully validated
@@ -126,12 +130,14 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
         "--kernel",
         choices=(
             "engine_cell",
+            "fidelity_cell",
             "specialization_cell",
             "hierarchy_cell",
             "transfer_cell",
         ),
         default="engine_cell",
         help="which sweep grid to shard (default: the engine design space; "
+        "fidelity_cell = the same cells priced in time AND logical error, "
         "specialization_cell = Table 4, hierarchy_cell = Table 5, "
         "transfer_cell = the Table 3 transfer matrix)",
     )
@@ -158,6 +164,22 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
         metavar="COMPUTE:MEMORY",
         help="mixed-code stack axis of the engine grid, e.g. "
         "bacon_shor:steane (compute code over memory code)",
+    )
+    grid.add_argument(
+        "--fidelity-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fidelity_cell grids: Monte Carlo calibration trials per "
+        "(code, level) point (part of cell identity)",
+    )
+    grid.add_argument(
+        "--fidelity-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="fidelity_cell grids: Monte Carlo calibration seed "
+        "(part of cell identity)",
     )
 
 
@@ -353,22 +375,39 @@ def _grid_from_args(args: argparse.Namespace) -> Grid:
     # the in-process sweeps enumerate the same canonical grid.
     from ..core import design_space
 
-    if args.kernel == "engine_cell":
-        return design_space.engine_grid(
-            **_picked(
-                args,
-                workloads="workloads",
-                sizes="sizes",
-                codes="code_keys",
-                depths="depths",
-                policies="policies",
-                prefetches="prefetches",
-                transfers="transfer_options",
-                compute_qubits="compute_qubits",
-                cache_factor="cache_factor",
-                code_pairs="code_pairs",
+    if args.kernel != "fidelity_cell":
+        stray = [
+            "--" + dest.replace("_", "-")
+            for dest in _FIDELITY_ONLY
+            if getattr(args, dest) is not None
+        ]
+        if stray:
+            raise SystemExit(
+                f"{args.kernel} grids do not take {', '.join(stray)} "
+                f"(fidelity-grid options)"
             )
+    if args.kernel in ("engine_cell", "fidelity_cell"):
+        picks = _picked(
+            args,
+            workloads="workloads",
+            sizes="sizes",
+            codes="code_keys",
+            depths="depths",
+            policies="policies",
+            prefetches="prefetches",
+            transfers="transfer_options",
+            compute_qubits="compute_qubits",
+            cache_factor="cache_factor",
+            code_pairs="code_pairs",
         )
+        if args.kernel == "fidelity_cell":
+            picks.update(_picked(
+                args,
+                fidelity_trials="fidelity_trials",
+                fidelity_seed="fidelity_seed",
+            ))
+            return design_space.fidelity_grid(**picks)
+        return design_space.engine_grid(**picks)
     stray = [
         "--" + dest.replace("_", "-")
         for dest in _ENGINE_ONLY
@@ -565,6 +604,29 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_table(args: argparse.Namespace) -> int:
+    grid = _grid_from_args(args)
+    store = open_store(args.store)
+    from ..analysis.tables import render_table_from_store
+
+    try:
+        text = render_table_from_store(
+            grid, store, allow_missing=args.allow_missing
+        )
+    except MissingCells as exc:
+        print(f"table failed: {exc}", file=sys.stderr)
+        for key in exc.keys[:10]:
+            print(f"  missing {key}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # A kernel without a registered renderer (Table 4/5 render
+        # through repro.analysis directly).
+        print(f"table failed: {exc}", file=sys.stderr)
+        return 1
+    print(text)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     grid = _grid_from_args(args)
     store = open_store(args.store)
@@ -657,6 +719,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_grid_options(merge)
     merge.set_defaults(fn=_cmd_merge)
+
+    table = sub.add_parser(
+        "table",
+        help="render the grid's analysis table from the store "
+        "(engine_cell / fidelity_cell / transfer_cell; computes nothing)",
+    )
+    table.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help="store backend locator: DIR / fs:DIR / sqlite:PATH",
+    )
+    table.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="degrade gracefully: render — cells and a failure footer "
+        "instead of failing on missing/quarantined cells",
+    )
+    _add_grid_options(table)
+    table.set_defaults(fn=_cmd_table)
 
     serve = sub.add_parser(
         "serve",

@@ -487,6 +487,7 @@ def kernel_registry() -> Dict[str, Tuple[Callable[[Dict[str, Any]], Any], Type]]
 
     return {
         "engine_cell": (design_space.engine_cell, design_space.EngineRow),
+        "fidelity_cell": (design_space.fidelity_cell, design_space.FidelityRow),
         "specialization_cell": (
             design_space.specialization_cell,
             design_space.SpecializationRow,

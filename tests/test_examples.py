@@ -45,6 +45,7 @@ class TestOtherExamples:
         "policy_comparison",
         "prefetch_comparison",
         "mixed_code_stack",
+        "time_vs_fidelity_pareto",
     ])
     def test_importable_with_main(self, name):
         module = _load(name)
@@ -89,6 +90,23 @@ class TestMixedCodeStackExecution:
         for token in ("steane (pure)", "bacon_shor (pure)", "mixed",
                       "7-L2", "9-L1", "demote", "makespan"):
             assert token in out, token
+
+
+class TestTimeVsFidelityParetoExecution:
+    def test_small_run(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "time_vs_fidelity_pareto.py"),
+             "16"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        out = result.stdout
+        # Both policies, both prefetchers, the two-objective columns,
+        # and at least one starred pareto-front row show up.
+        for token in ("lru", "fidelity", "none", "next_k",
+                      "makespan", "logical err", "pareto front"):
+            assert token in out, token
+        assert "*" in out
 
 
 class TestPrefetchComparisonExecution:
